@@ -1,0 +1,176 @@
+// Command bwamem is the end-user aligner CLI, mirroring bwa-mem2's
+// interface:
+//
+//	bwamem index ref.fa                  build ref.fa.bwago
+//	bwamem mem [flags] ref.fa reads.fq   map reads, SAM on stdout
+//
+// The -mode flag switches between the paper's two implementations (the
+// output is identical either way; only the speed differs).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/seq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "index":
+		cmdIndex(os.Args[2:])
+	case "mem":
+		cmdMem(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  bwamem index <ref.fa>
+  bwamem mem [-t N] [-mode baseline|optimized] [-a] [-T score] <ref.fa[.bwago]> <reads.fq> [mates.fq]
+`)
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "bwamem:", err)
+	os.Exit(1)
+}
+
+func cmdIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	out := fs.String("o", "", "output index path (default <ref>.bwago)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	refPath := fs.Arg(0)
+	f, err := os.Open(refPath)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	ref, err := seq.ReferenceFromFasta(f)
+	if err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "[index] %d contigs, %d bp; building BWT and suffix array...\n",
+		len(ref.Contigs), ref.Lpac())
+	pi, err := core.BuildPrebuilt(ref)
+	if err != nil {
+		die(err)
+	}
+	path := *out
+	if path == "" {
+		path = refPath + ".bwago"
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		die(err)
+	}
+	if err := pi.WriteIndex(w); err != nil {
+		die(err)
+	}
+	if err := w.Close(); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "[index] wrote %s\n", path)
+}
+
+func loadOrBuild(refPath string) (*core.Prebuilt, error) {
+	idxPath := refPath
+	if !strings.HasSuffix(idxPath, ".bwago") {
+		idxPath += ".bwago"
+	}
+	if f, err := os.Open(idxPath); err == nil {
+		defer f.Close()
+		fmt.Fprintf(os.Stderr, "[mem] loading index %s\n", idxPath)
+		return core.ReadIndex(f)
+	}
+	f, err := os.Open(refPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ref, err := seq.ReferenceFromFasta(f)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "[mem] no prebuilt index; indexing %d bp in memory\n", ref.Lpac())
+	return core.BuildPrebuilt(ref)
+}
+
+func cmdMem(args []string) {
+	fs := flag.NewFlagSet("mem", flag.ExitOnError)
+	threads := fs.Int("t", runtime.NumCPU(), "worker threads")
+	modeStr := fs.String("mode", "optimized", "implementation: baseline or optimized")
+	all := fs.Bool("a", false, "output secondary alignments")
+	minScore := fs.Int("T", 30, "minimum score to output")
+	batch := fs.Int("batch", 512, "reads per batch (optimized layout)")
+	fs.Parse(args)
+	if fs.NArg() != 2 && fs.NArg() != 3 {
+		usage()
+	}
+	mode := core.ModeOptimized
+	switch *modeStr {
+	case "baseline":
+		mode = core.ModeBaseline
+	case "optimized":
+	default:
+		die(fmt.Errorf("unknown mode %q", *modeStr))
+	}
+	pi, err := loadOrBuild(fs.Arg(0))
+	if err != nil {
+		die(err)
+	}
+	loadReads := func(path string) []seq.Read {
+		rf, err := os.Open(path)
+		if err != nil {
+			die(err)
+		}
+		defer rf.Close()
+		reads, err := seq.ReadFastq(rf)
+		if err != nil {
+			die(err)
+		}
+		return reads
+	}
+	reads := loadReads(fs.Arg(1))
+	opts := core.DefaultOptions()
+	opts.OutputAll = *all
+	opts.ScoreThreshold = *minScore
+	aln, err := core.NewAlignerFrom(pi, mode, opts)
+	if err != nil {
+		die(err)
+	}
+	cfg := pipeline.Config{Threads: *threads, BatchSize: *batch}
+	var res *pipeline.Result
+	if fs.NArg() == 3 { // paired-end: two FASTQ files
+		mates := loadReads(fs.Arg(2))
+		if len(mates) != len(reads) {
+			die(fmt.Errorf("paired files hold %d and %d reads", len(reads), len(mates)))
+		}
+		res = pipeline.RunPaired(aln, reads, mates, cfg)
+	} else {
+		res = pipeline.Run(aln, reads, cfg)
+	}
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	out.WriteString(aln.SAMHeader())
+	out.Write(res.SAM)
+	if err := out.Flush(); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "[mem] %d reads in %v (%s mode, %d threads)\n",
+		res.Reads, res.Wall.Round(1000000), mode, *threads)
+}

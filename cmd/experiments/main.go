@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's application-level
+// experiments: Table 1 (run-time breakdown), Figure 4 (thread scaling) and
+// Figure 5 (end-to-end baseline-vs-optimized comparison), or everything —
+// including the kernel tables — with -all. Its output is the raw material
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		genome  = flag.Int("genome", 2_000_000, "synthetic reference length (bp)")
+		scale   = flag.Float64("scale", 1.0, "read-count scale over the D1-D5 profiles")
+		threads = flag.Int("maxthreads", 0, "top of the Figure 4 sweep (0 = NumCPU)")
+		t1      = flag.Bool("table1", false, "run Table 1 (run-time profile)")
+		f4      = flag.Bool("fig4", false, "run Figure 4 (thread scaling)")
+		f5      = flag.Bool("fig5", false, "run Figure 5 (end-to-end comparison)")
+		all     = flag.Bool("all", false, "run every table and figure")
+	)
+	flag.Parse()
+	if !(*t1 || *f4 || *f5 || *all) {
+		*all = true
+	}
+	cfg := experiments.Default()
+	cfg.GenomeLen = *genome
+	cfg.Scale = *scale
+	if *threads > 0 {
+		cfg.MaxThreads = *threads
+	}
+	fmt.Fprintf(os.Stderr, "[experiments] building %d bp environment...\n", cfg.GenomeLen)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	run := func(enabled bool, fn func() error) {
+		if !enabled && !*all {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	run(*t1, func() error { return experiments.Table1(w, env) })
+	run(*all, func() error { return experiments.Table4(w, env) })
+	run(*all, func() error { return experiments.Table5(w, env) })
+	run(*all, func() error { return experiments.Table6(w, env) })
+	run(*all, func() error { return experiments.Table7(w, env) })
+	run(*all, func() error { return experiments.Table8(w, env) })
+	run(*f4, func() error { return experiments.Figure4(w, env) })
+	run(*f5, func() error { return experiments.Figure5(w, env) })
+	run(*all, func() error { return experiments.AblationSACompression(w, env) })
+	run(*all, func() error { return experiments.AblationBSWWidth(w, env) })
+	run(*all, func() error { return experiments.AblationBSWSort(w, env) })
+	run(*all, func() error { return experiments.AblationBatchSize(w, env) })
+}

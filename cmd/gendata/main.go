@@ -1,0 +1,56 @@
+// Command gendata writes a synthetic reference FASTA and simulated
+// single-end and paired-end FASTQ files, so the bwamem CLI can be exercised
+// end to end without external data (the Table 3 stand-in in file form).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datasets"
+	"repro/internal/seq"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "output directory")
+		length = flag.Int("genome", 200_000, "reference length (bp)")
+		scale  = flag.Float64("scale", 0.1, "read-count scale over the D4 profile")
+		seed   = flag.Int64("seed", 99, "generator seed")
+	)
+	flag.Parse()
+	ref, err := datasets.Genome(datasets.DefaultGenome("chrT", *length, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, fn func(*os.File) error) {
+		f, err := os.Create(filepath.Join(*dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", filepath.Join(*dir, name))
+	}
+	write("ref.fa", func(f *os.File) error {
+		return seq.WriteFasta(f, []seq.FastaRecord{{Name: "chrT", Seq: seq.Decode(ref.Pac)}}, 80)
+	})
+	reads, err := datasets.Simulate(ref, datasets.D4.Scaled(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("reads.fq", func(f *os.File) error { return seq.WriteFastq(f, reads) })
+	r1, r2, err := datasets.SimulatePairs(ref, datasets.DefaultPairs(datasets.D4.Scaled(*scale/2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("reads_1.fq", func(f *os.File) error { return seq.WriteFastq(f, r1) })
+	write("reads_2.fq", func(f *os.File) error { return seq.WriteFastq(f, r2) })
+}

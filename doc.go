@@ -1,0 +1,15 @@
+// Package repro is a from-scratch, pure-Go reproduction of
+//
+//	Vasimuddin Md, Sanchit Misra, Heng Li, Srinivas Aluru.
+//	"Efficient Architecture-Aware Acceleration of BWA-MEM for Multicore
+//	Systems", IPDPS 2019 (the system released as bwa-mem2).
+//
+// The library implements the complete BWA-MEM short-read aligner — FM-index
+// seeding (SMEM), suffix-array lookup (SAL), seed chaining, banded
+// Smith-Waterman extension (BSW) and SAM output — in both the original
+// design and the paper's architecture-aware redesign, with byte-identical
+// output between the two, plus the instrumentation (cache-hierarchy
+// simulator, operation counters, stage clocks) needed to regenerate every
+// table and figure of the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

@@ -1,0 +1,44 @@
+// scalingdemo sweeps worker threads over the optimized pipeline on this
+// machine — a miniature of the paper's Figure 4 single-socket scaling
+// experiment — and prints the per-kernel time split at each point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/datasets"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	ref, err := datasets.Genome(datasets.DefaultGenome("chr1", 300_000, 17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := datasets.Simulate(ref, datasets.D1) // 2000 x 151 bp
+	if err != nil {
+		log.Fatal(err)
+	}
+	aln, err := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base float64
+	for t := 1; t <= runtime.NumCPU(); t++ {
+		res := pipeline.Run(aln, reads, pipeline.Config{Threads: t})
+		wall := float64(res.Wall.Microseconds()) / 1000
+		if t == 1 {
+			base = wall
+		}
+		fmt.Printf("threads=%d  wall %8.1f ms  speedup x%.2f  | SMEM %5.1f%%  SAL %4.1f%%  BSW %5.1f%%  other %5.1f%%\n",
+			t, wall, base/wall,
+			100*res.Clock.Fraction(counters.StageSMEM),
+			100*res.Clock.Fraction(counters.StageSAL),
+			100*(res.Clock.Fraction(counters.StageBSWPre)+res.Clock.Fraction(counters.StageBSW)),
+			100*(res.Clock.Fraction(counters.StageChain)+res.Clock.Fraction(counters.StageSAMForm)+res.Clock.Fraction(counters.StageMisc)))
+	}
+}

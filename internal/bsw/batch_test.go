@@ -1,0 +1,237 @@
+package bsw
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randJobs builds extension jobs resembling the real workload: targets are
+// mutated copies of queries (sometimes with indel-like length changes),
+// lengths vary, and h0 is a plausible seed score.
+func randJobs(rng *rand.Rand, n, maxLen, maxH0 int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		qlen := 1 + rng.Intn(maxLen)
+		q := randSeq(rng, qlen)
+		var tg []byte
+		switch rng.Intn(4) {
+		case 0: // unrelated
+			tg = randSeq(rng, 1+rng.Intn(maxLen))
+		case 1: // mutated copy
+			tg = mutate(rng, q, 1+rng.Intn(4))
+		case 2: // mutated, truncated
+			tg = mutate(rng, q, rng.Intn(3))
+			tg = tg[:1+rng.Intn(len(tg))]
+		default: // mutated, extended
+			tg = append(mutate(rng, q, rng.Intn(3)), randSeq(rng, rng.Intn(20))...)
+		}
+		jobs[i] = Job{Query: q, Target: tg, W: 100, H0: 1 + rng.Intn(maxH0)}
+	}
+	return jobs
+}
+
+func scalarAll(p *Params, jobs []Job) []ExtResult {
+	var buf ScalarBuf
+	out := make([]ExtResult, len(jobs))
+	for i, j := range jobs {
+		out[i] = ExtendScalar(p, j.Query, j.Target, j.W, j.H0, &buf, nil)
+	}
+	return out
+}
+
+// TestBatchIdenticalToScalar is the reproduction of the paper's central
+// correctness requirement (§1, §6.1.3): the vectorized engines must produce
+// output identical to the scalar original, across precisions, widths, and
+// sorting choices.
+func TestBatchIdenticalToScalar(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		jobs := randJobs(rng, 200, 120, 40)
+		want := scalarAll(&p, jobs)
+		for _, cfg := range []BatchConfig{
+			{Width8: 64, Width16: 32, Sort: true},
+			{Width8: 64, Width16: 32, Sort: false},
+			{Width8: 16, Width16: 8, Sort: true},
+			{Width8: 1, Width16: 1, Sort: false}, // degenerate single-lane
+			{Width8: 64, Width16: 32, Sort: true, ForcePrecision: 16},
+			{Width8: 64, Width16: 32, Sort: false, ForcePrecision: 8},
+		} {
+			got := RunBatch(&p, jobs, cfg)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d cfg %+v job %d (q=%d,t=%d,h0=%d):\nbatch  %+v\nscalar %+v",
+						trial, cfg, i, len(jobs[i].Query), len(jobs[i].Target), jobs[i].H0,
+						got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchIdenticalUnderZdropAndTightBand(t *testing.T) {
+	p := DefaultParams()
+	p.Zdrop = 10 // aggressive drop to exercise lane aborts
+	rng := rand.New(rand.NewSource(52))
+	jobs := randJobs(rng, 300, 150, 30)
+	for i := range jobs {
+		jobs[i].W = 1 + rng.Intn(8) // tight bands exercise shrink/clip paths
+	}
+	want := scalarAll(&p, jobs)
+	got := RunBatch(&p, jobs, DefaultBatchConfig())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: batch %+v scalar %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchPrecisionRouting(t *testing.T) {
+	p := DefaultParams()
+	// h0 + qlen > 127 forces 16-bit; h0 + qlen > 32767 forces scalar.
+	jobs := []Job{
+		{Query: randSeq(rand.New(rand.NewSource(1)), 50), Target: randSeq(rand.New(rand.NewSource(2)), 50), W: 10, H0: 20},    // 8-bit
+		{Query: randSeq(rand.New(rand.NewSource(3)), 200), Target: randSeq(rand.New(rand.NewSource(4)), 200), W: 10, H0: 100}, // 16-bit
+	}
+	if !p.Fits8(&jobs[0]) || p.Fits8(&jobs[1]) {
+		t.Fatal("test setup: routing classes wrong")
+	}
+	want := scalarAll(&p, jobs)
+	got := RunBatch(&p, jobs, DefaultBatchConfig())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// Forcing 8-bit precision must fall back to scalar for the big job, not
+	// corrupt it.
+	got = RunBatch(&p, jobs, BatchConfig{Sort: true, ForcePrecision: 8})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forced-8 job %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchUsefulCellsMatchScalarSchedule(t *testing.T) {
+	// Committed (useful) lane slots must be exactly the cells the scalar
+	// engine computes — masking only ever suppresses extra work.
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(53))
+	jobs := randJobs(rng, 128, 100, 30)
+	var scStats CellStats
+	var buf ScalarBuf
+	for _, j := range jobs {
+		ExtendScalar(&p, j.Query, j.Target, j.W, j.H0, &buf, &scStats)
+	}
+	var bStats BatchStats
+	RunBatch(&p, jobs, BatchConfig{Width8: 64, Width16: 32, Sort: true, Stats: &bStats})
+	if bStats.UsefulCells != scStats.ScalarCells {
+		t.Fatalf("useful lane slots %d != scalar cells %d", bStats.UsefulCells, scStats.ScalarCells)
+	}
+	if bStats.TotalCells < bStats.UsefulCells {
+		t.Fatalf("total %d < useful %d", bStats.TotalCells, bStats.UsefulCells)
+	}
+	if bStats.Batches == 0 || bStats.VectorSteps == 0 {
+		t.Fatalf("stats not collected: %+v", bStats)
+	}
+}
+
+func TestSortingReducesWaste(t *testing.T) {
+	// §5.3.1/Table 6: grouping similar-length pairs cuts wasteful cells.
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(54))
+	// Strongly bimodal lengths make the effect unmistakable.
+	var jobs []Job
+	for i := 0; i < 512; i++ {
+		ln := 10 + rng.Intn(10)
+		if i%2 == 0 {
+			ln = 90 + rng.Intn(10)
+		}
+		q := randSeq(rng, ln)
+		jobs = append(jobs, Job{Query: q, Target: mutate(rng, q, 2), W: 100, H0: 20})
+	}
+	var unsorted, sorted BatchStats
+	RunBatch(&p, jobs, BatchConfig{Width8: 64, Width16: 32, Sort: false, Stats: &unsorted})
+	RunBatch(&p, jobs, BatchConfig{Width8: 64, Width16: 32, Sort: true, Stats: &sorted})
+	if sorted.UsefulCells != unsorted.UsefulCells {
+		t.Fatalf("useful cells changed with sorting: %d vs %d", sorted.UsefulCells, unsorted.UsefulCells)
+	}
+	if float64(sorted.TotalCells) > 0.8*float64(unsorted.TotalCells) {
+		t.Fatalf("sorting should cut total lane slots substantially: %d -> %d",
+			unsorted.TotalCells, sorted.TotalCells)
+	}
+}
+
+func TestSortJobsByLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	jobs := randJobs(rng, 500, 200, 20)
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	got := sortJobsByLength(jobs, order)
+	// Verify permutation.
+	seen := make([]bool, len(jobs))
+	for _, id := range got {
+		if seen[id] {
+			t.Fatal("duplicate id after sort")
+		}
+		seen[id] = true
+	}
+	// Verify order matches the stable sort by the same key.
+	key := func(id int) int {
+		q, tg := len(jobs[id].Query), len(jobs[id].Target)
+		hi, lo := q, tg
+		if tg > q {
+			hi, lo = tg, q
+		}
+		return hi<<16 | lo
+	}
+	want := make([]int, len(jobs))
+	for i := range want {
+		want[i] = i
+	}
+	sort.SliceStable(want, func(a, b int) bool { return key(want[a]) < key(want[b]) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got job %d (key %d), want job %d (key %d)",
+				i, got[i], key(got[i]), want[i], key(want[i]))
+		}
+	}
+}
+
+func TestBatchEmptyAndTiny(t *testing.T) {
+	p := DefaultParams()
+	if res := RunBatch(&p, nil, DefaultBatchConfig()); len(res) != 0 {
+		t.Fatal("empty jobs")
+	}
+	jobs := []Job{{Query: []byte{1}, Target: []byte{1}, W: 5, H0: 3}}
+	got := RunBatch(&p, jobs, DefaultBatchConfig())
+	want := scalarAll(&p, jobs)
+	if got[0] != want[0] {
+		t.Fatalf("tiny: %+v vs %+v", got[0], want[0])
+	}
+}
+
+func BenchmarkBSWScalar(b *testing.B) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(60))
+	jobs := randJobs(rng, 1024, 120, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scalarAll(&p, jobs)
+	}
+}
+
+func BenchmarkBSWBatch8Sorted(b *testing.B) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(60))
+	jobs := randJobs(rng, 1024, 100, 20)
+	cfg := BatchConfig{Width8: 64, Width16: 32, Sort: true, ForcePrecision: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunBatch(&p, jobs, cfg)
+	}
+}

@@ -1,0 +1,179 @@
+package bsw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refGlobalDense is an independent, unbanded affine-gap global aligner
+// (score only), for cross-checking Global when the band is wide enough not
+// to matter.
+func refGlobalDense(p *Params, query, target []byte) int {
+	qlen, tlen := len(query), len(target)
+	neg := int(minusInf)
+	H := make([][]int, tlen+1)
+	E := make([][]int, tlen+1) // gap in query (consumes target)
+	F := make([][]int, tlen+1) // gap in target (consumes query)
+	for i := range H {
+		H[i] = make([]int, qlen+1)
+		E[i] = make([]int, qlen+1)
+		F[i] = make([]int, qlen+1)
+	}
+	for i := 0; i <= tlen; i++ {
+		for j := 0; j <= qlen; j++ {
+			H[i][j], E[i][j], F[i][j] = neg, neg, neg
+		}
+	}
+	H[0][0] = 0
+	for i := 1; i <= tlen; i++ {
+		E[i][0] = -(p.ODel + p.EDel*i)
+		H[i][0] = E[i][0]
+	}
+	for j := 1; j <= qlen; j++ {
+		F[0][j] = -(p.OIns + p.EIns*j)
+		H[0][j] = F[0][j]
+	}
+	for i := 1; i <= tlen; i++ {
+		for j := 1; j <= qlen; j++ {
+			e := E[i-1][j] - p.EDel
+			if v := H[i-1][j] - p.ODel - p.EDel; v > e {
+				e = v
+			}
+			E[i][j] = e
+			f := F[i][j-1] - p.EIns
+			if v := H[i][j-1] - p.OIns - p.EIns; v > f {
+				f = v
+			}
+			F[i][j] = f
+			h := H[i-1][j-1] + int(p.Mat[int(target[i-1])*5+int(query[j-1])])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			H[i][j] = h
+		}
+	}
+	return H[tlen][qlen]
+}
+
+// cigarScore replays an alignment described by a CIGAR and recomputes its
+// score, verifying consistency of ops with sequence lengths.
+func cigarScore(t *testing.T, p *Params, query, target []byte, cig Cigar) int {
+	t.Helper()
+	qi, ti, score := 0, 0, 0
+	for _, e := range cig {
+		n := int(e >> 4)
+		switch e & 0xf {
+		case CigarMatch:
+			for k := 0; k < n; k++ {
+				score += int(p.Mat[int(target[ti])*5+int(query[qi])])
+				qi++
+				ti++
+			}
+		case CigarIns:
+			score -= p.OIns + p.EIns*n
+			qi += n
+		case CigarDel:
+			score -= p.ODel + p.EDel*n
+			ti += n
+		default:
+			t.Fatalf("unexpected op in %v", cig)
+		}
+	}
+	if qi != len(query) || ti != len(target) {
+		t.Fatalf("cigar %v consumes (%d,%d), want (%d,%d)", cig, qi, ti, len(query), len(target))
+	}
+	return score
+}
+
+func TestGlobalPerfectAndTrivial(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(61))
+	s := randSeq(rng, 30)
+	score, cig := Global(&p, s, s, 10, true)
+	if score != 30 || cig.String() != "30M" {
+		t.Fatalf("perfect: score=%d cigar=%s", score, cig)
+	}
+	// Empty cases.
+	if sc, cg := Global(&p, nil, nil, 5, true); sc != 0 || cg != nil {
+		t.Fatal("empty/empty")
+	}
+	if sc, cg := Global(&p, nil, s[:4], 5, true); sc != -(p.ODel+4*p.EDel) || cg.String() != "4D" {
+		t.Fatalf("empty query: %d %s", sc, cg)
+	}
+	if sc, cg := Global(&p, s[:4], nil, 5, true); sc != -(p.OIns+4*p.EIns) || cg.String() != "4I" {
+		t.Fatalf("empty target: %d %s", sc, cg)
+	}
+}
+
+func TestGlobalMatchesDenseReference(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 300; trial++ {
+		qlen := 1 + rng.Intn(30)
+		tlen := 1 + rng.Intn(30)
+		var q, tg []byte
+		if trial%3 == 0 {
+			q, tg = randSeq(rng, qlen), randSeq(rng, tlen)
+		} else {
+			q = randSeq(rng, qlen)
+			tg = mutate(rng, q, rng.Intn(4))
+			if rng.Intn(2) == 0 && len(tg) > 2 { // simulate indel
+				cut := 1 + rng.Intn(len(tg)/2)
+				at := rng.Intn(len(tg) - cut)
+				tg = append(tg[:at], tg[at+cut:]...)
+			}
+		}
+		want := refGlobalDense(&p, q, tg)
+		got, cig := Global(&p, q, tg, 100, true)
+		if got != want {
+			t.Fatalf("trial %d: q=%v t=%v: score %d, want %d", trial, q, tg, got, want)
+		}
+		if rescore := cigarScore(t, &p, q, tg, cig); rescore != got {
+			t.Fatalf("trial %d: cigar %s rescores to %d, reported %d", trial, cig, rescore, got)
+		}
+	}
+}
+
+func TestGlobalNarrowBandStillConsistent(t *testing.T) {
+	// With a narrow band the score may be suboptimal, but the CIGAR must
+	// still rescore to exactly the reported score.
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 200; trial++ {
+		q := randSeq(rng, 5+rng.Intn(40))
+		tg := mutate(rng, q, rng.Intn(5))
+		if rng.Intn(2) == 0 {
+			tg = append(tg, randSeq(rng, rng.Intn(6))...)
+		}
+		w := 1 + rng.Intn(4)
+		got, cig := Global(&p, q, tg, w, true)
+		if rescore := cigarScore(t, &p, q, tg, cig); rescore != got {
+			t.Fatalf("trial %d w=%d: cigar %s rescores to %d, reported %d", trial, w, cig, rescore, got)
+		}
+	}
+}
+
+func TestCigarHelpers(t *testing.T) {
+	var c Cigar
+	c = c.PushOp(CigarMatch, 10)
+	c = c.PushOp(CigarMatch, 5) // merges
+	c = c.PushOp(CigarIns, 2)
+	c = c.PushOp(CigarDel, 3)
+	c = c.PushOp(CigarSoft, 4)
+	if c.String() != "15M2I3D4S" {
+		t.Fatalf("cigar string: %s", c)
+	}
+	q, tl := c.Lens()
+	if q != 15+2+4 || tl != 15+3 {
+		t.Fatalf("lens: %d %d", q, tl)
+	}
+	if Cigar(nil).String() != "*" {
+		t.Fatal("empty cigar string")
+	}
+	if got := c.PushOp(CigarMatch, 0); len(got) != len(c) {
+		t.Fatal("zero-length push should be a no-op")
+	}
+}

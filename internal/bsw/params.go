@@ -1,0 +1,98 @@
+// Package bsw implements the banded Smith-Waterman (BSW) kernel of BWA-MEM
+// (paper §5): seed extension with a diagonal band, zero-row abort, z-drop
+// abort, and per-row band adjustment. Three interchangeable engines are
+// provided:
+//
+//   - ExtendScalar: the original scalar kernel (a faithful port of BWA's
+//     ksw_extend2), the paper's baseline.
+//   - Batch16 / Batch8: the paper's inter-task "vectorized" kernels. W
+//     sequence pairs advance in lock-step through the same (i,j) cell
+//     schedule with per-lane masking, after AoS-to-SoA conversion and
+//     optional radix sorting by length (§5.3). Pure Go has no SIMD
+//     intrinsics, so the lanes execute serially, but the kernel preserves
+//     every structural property the paper measures: lane occupancy, useful
+//     vs wasteful cell counts, the benefit of sorting, and 8-bit vs 16-bit
+//     lane width. All engines produce bit-identical results.
+package bsw
+
+// Params holds the alignment scoring parameters (BWA-MEM defaults in
+// DefaultParams).
+type Params struct {
+	Mat                    [25]int8 // 5x5 substitution matrix (A,C,G,T,N)
+	ODel, EDel, OIns, EIns int      // gap open/extend penalties (positive)
+	Zdrop                  int      // z-drop threshold; 0 disables
+	EndBonus               int      // bonus for reaching the end of the query
+}
+
+// DefaultParams returns BWA-MEM's defaults: match 1, mismatch -4, gap open
+// 6, gap extend 1, z-drop 100, end bonus 5.
+func DefaultParams() Params {
+	p := Params{ODel: 6, EDel: 1, OIns: 6, EIns: 1, Zdrop: 100, EndBonus: 5}
+	p.Mat = FillScoreMatrix(1, 4)
+	return p
+}
+
+// FillScoreMatrix builds BWA's 5x5 matrix (bwa_fill_scmat): +a on the
+// diagonal, -b elsewhere, -1 against N.
+func FillScoreMatrix(a, b int) [25]int8 {
+	var m [25]int8
+	k := 0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				m[k] = int8(a)
+			} else {
+				m[k] = int8(-b)
+			}
+			k++
+		}
+		m[k] = -1 // ambiguous base
+		k++
+	}
+	for j := 0; j < 5; j++ {
+		m[k] = -1
+		k++
+	}
+	return m
+}
+
+// MaxMatch returns the largest entry of the matrix (the match score).
+func (p *Params) MaxMatch() int {
+	max := 0
+	for _, v := range p.Mat {
+		if int(v) > max {
+			max = int(v)
+		}
+	}
+	return max
+}
+
+// ExtResult is the outcome of one seed extension (ksw_extend2's outputs).
+type ExtResult struct {
+	Score  int // best extension score (>= h0 means the seed extended)
+	QLE    int // query length of the best local extension
+	TLE    int // target length of the best local extension
+	GTLE   int // target length of the best to-end-of-query extension
+	GScore int // best to-end-of-query score; -1 if the end was never reached
+	MaxOff int // max diagonal offset observed at score updates
+}
+
+// Job is one extension task: align query against target starting from a seed
+// of initial score H0 with band width W.
+type Job struct {
+	Query  []byte
+	Target []byte
+	W      int
+	H0     int
+}
+
+// Fits8 reports whether a job's scores provably fit the 8-bit kernel's value
+// range (all H/E/F values are bounded by H0 + qlen*match).
+func (p *Params) Fits8(j *Job) bool {
+	return j.H0+len(j.Query)*p.MaxMatch() <= 127
+}
+
+// Fits16 reports whether a job fits the 16-bit kernel's value range.
+func (p *Params) Fits16(j *Job) bool {
+	return j.H0+len(j.Query)*p.MaxMatch() <= 32767
+}

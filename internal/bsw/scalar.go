@@ -1,0 +1,195 @@
+package bsw
+
+// ScalarBuf holds reusable scratch for ExtendScalar; allocate once per worker
+// (§3.2: few large allocations, reused).
+type ScalarBuf struct {
+	h, e []int32
+	qp   []int8
+}
+
+func (b *ScalarBuf) grow(qlen int) {
+	if cap(b.h) < qlen+1 {
+		b.h = make([]int32, qlen+1)
+		b.e = make([]int32, qlen+1)
+	}
+	b.h = b.h[:qlen+1]
+	b.e = b.e[:qlen+1]
+	if cap(b.qp) < 5*qlen {
+		b.qp = make([]int8, 5*qlen)
+	}
+	b.qp = b.qp[:5*qlen]
+}
+
+// ExtendScalar is the original BWA-MEM banded extension kernel, a faithful
+// port of ksw_extend2: global-at-the-seed, local-at-the-end alignment of
+// query against target with initial score h0, a diagonal band of half-width
+// w, zero-row abort, z-drop abort, and per-row band shrinking (§5.1).
+// ScalarStats, if non-nil, accumulates cell accounting for the experiments.
+func ExtendScalar(p *Params, query, target []byte, w, h0 int, buf *ScalarBuf, st *CellStats) ExtResult {
+	qlen, tlen := len(query), len(target)
+	if buf == nil {
+		buf = &ScalarBuf{}
+	}
+	buf.grow(qlen)
+	eh, ee, qp := buf.h, buf.e, buf.qp
+	oeDel := p.ODel + p.EDel
+	oeIns := p.OIns + p.EIns
+
+	// Query profile: qp[k*qlen+j] = Mat[k][query[j]].
+	for k, i := 0, 0; k < 5; k++ {
+		row := p.Mat[k*5 : k*5+5]
+		for j := 0; j < qlen; j++ {
+			qp[i] = row[query[j]]
+			i++
+		}
+	}
+
+	// First row.
+	for j := range eh {
+		eh[j], ee[j] = 0, 0
+	}
+	eh[0] = int32(h0)
+	if qlen > 0 {
+		if h0 > oeIns {
+			eh[1] = int32(h0 - oeIns)
+		}
+		for j := 2; j <= qlen && eh[j-1] > int32(p.EIns); j++ {
+			eh[j] = eh[j-1] - int32(p.EIns)
+		}
+	}
+
+	// Clamp the band to the widest useful gap.
+	maxSc := p.MaxMatch()
+	maxIns := int(float64(qlen*maxSc+p.EndBonus-p.OIns)/float64(p.EIns) + 1)
+	if maxIns < 1 {
+		maxIns = 1
+	}
+	if w > maxIns {
+		w = maxIns
+	}
+	maxDel := int(float64(qlen*maxSc+p.EndBonus-p.ODel)/float64(p.EDel) + 1)
+	if maxDel < 1 {
+		maxDel = 1
+	}
+	if w > maxDel {
+		w = maxDel
+	}
+
+	max, maxI, maxJ := h0, -1, -1
+	maxIE, gscore := -1, -1
+	maxOff := 0
+	beg, end := 0, qlen
+	for i := 0; i < tlen; i++ {
+		f, m, mj := int32(0), int32(0), -1
+		q := qp[int(target[i])*qlen : int(target[i])*qlen+qlen]
+		if beg < i-w {
+			beg = i - w
+		}
+		if end > i+w+1 {
+			end = i + w + 1
+		}
+		if end > qlen {
+			end = qlen
+		}
+		var h1 int32
+		if beg == 0 {
+			h1 = int32(h0 - (p.ODel + p.EDel*(i+1)))
+			if h1 < 0 {
+				h1 = 0
+			}
+		}
+		for j := beg; j < end; j++ {
+			// eh[j] = H(i-1,j-1), ee[j] = E(i,j), f = F(i,j), h1 = H(i,j-1).
+			M, e := eh[j], ee[j]
+			eh[j] = h1 // H(i,j-1) for the next row
+			if M != 0 {
+				M += int32(q[j])
+			}
+			h := M
+			if h < e {
+				h = e
+			}
+			if h < f {
+				h = f
+			}
+			h1 = h
+			if m <= h { // ties prefer the later column, as in ksw_extend2
+				m, mj = h, j
+			}
+			t := M - int32(oeDel)
+			if t < 0 {
+				t = 0
+			}
+			e -= int32(p.EDel)
+			if e < t {
+				e = t
+			}
+			ee[j] = e // E(i+1,j)
+			t = M - int32(oeIns)
+			if t < 0 {
+				t = 0
+			}
+			f -= int32(p.EIns)
+			if f < t {
+				f = t
+			}
+		}
+		if st != nil {
+			st.ScalarCells += int64(end - beg)
+			st.ScalarRows++
+		}
+		eh[end], ee[end] = h1, 0
+		if end == qlen {
+			if gscore <= int(h1) { // ties prefer the later row
+				maxIE, gscore = i, int(h1)
+			}
+		}
+		if m == 0 {
+			break
+		}
+		if int(m) > max {
+			max, maxI, maxJ = int(m), i, mj
+			off := mj - i
+			if off < 0 {
+				off = -off
+			}
+			if off > maxOff {
+				maxOff = off
+			}
+		} else if p.Zdrop > 0 {
+			di, dj := i-maxI, mj-maxJ
+			if di > dj {
+				if max-int(m)-(di-dj)*p.EDel > p.Zdrop {
+					break
+				}
+			} else {
+				if max-int(m)-(dj-di)*p.EIns > p.Zdrop {
+					break
+				}
+			}
+		}
+		// Band adjustment for the next row: shrink to the non-zero span.
+		j := beg
+		for ; j < end && eh[j] == 0 && ee[j] == 0; j++ {
+		}
+		beg = j
+		for j = end; j >= beg && eh[j] == 0 && ee[j] == 0; j-- {
+		}
+		if j+2 < qlen {
+			end = j + 2
+		} else {
+			end = qlen
+		}
+	}
+	return ExtResult{
+		Score: max, QLE: maxJ + 1, TLE: maxI + 1,
+		GTLE: maxIE + 1, GScore: gscore, MaxOff: maxOff,
+	}
+}
+
+// CellStats accounts for DP work, the basis of the paper's Table 7/8
+// instruction analysis.
+type CellStats struct {
+	ScalarCells int64 // cells computed by the scalar engine
+	ScalarRows  int64
+}

@@ -1,0 +1,261 @@
+package bsw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refExtendDense is an independent full-matrix implementation of the
+// extension recurrence (Equations 2-3 plus ksw_extend's M/H separation and
+// score trackers) with no band and no dynamic band shrinking. It is only
+// comparable to ExtendScalar on inputs where the band never clips and no
+// all-zero region appears (see callers), which is exactly how it is used.
+func refExtendDense(p *Params, query, target []byte, h0 int) ExtResult {
+	qlen, tlen := len(query), len(target)
+	oeDel, oeIns := p.ODel+p.EDel, p.OIns+p.EIns
+	max0 := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	// hm[ti][qj]: score after consuming ti target and qj query bases.
+	hm := make([][]int, tlen+1)
+	mm := make([][]int, tlen+1)
+	em := make([][]int, tlen+1)
+	fm := make([][]int, tlen+1)
+	for i := range hm {
+		hm[i] = make([]int, qlen+1)
+		mm[i] = make([]int, qlen+1)
+		em[i] = make([]int, qlen+1)
+		fm[i] = make([]int, qlen+1)
+	}
+	hm[0][0] = h0
+	for qj := 1; qj <= qlen; qj++ {
+		hm[0][qj] = max0(h0 - p.OIns - p.EIns*qj)
+	}
+	max, maxI, maxJ := h0, -1, -1
+	maxIE, gscore, maxOff := -1, -1, 0
+	for ti := 1; ti <= tlen; ti++ {
+		hm[ti][0] = max0(h0 - p.ODel - p.EDel*ti)
+		m, mj := 0, -1
+		for qj := 1; qj <= qlen; qj++ {
+			diag := hm[ti-1][qj-1]
+			M := 0
+			if diag != 0 {
+				M = diag + int(p.Mat[int(target[ti-1])*5+int(query[qj-1])])
+			}
+			mm[ti][qj] = M
+			e := 0
+			if ti >= 2 {
+				e = em[ti][qj]
+			}
+			f := 0
+			if qj >= 2 {
+				f = fm[ti][qj]
+			}
+			h := M
+			if h < e {
+				h = e
+			}
+			if h < f {
+				h = f
+			}
+			hm[ti][qj] = h
+			if m <= h {
+				m, mj = h, qj-1
+			}
+			// E for the next row and F for the next column.
+			tv := max0(M - oeDel)
+			ev := e - p.EDel
+			if ev < tv {
+				ev = tv
+			}
+			if ti+1 <= tlen {
+				em[ti+1][qj] = ev
+			}
+			tv = max0(M - oeIns)
+			fv := f - p.EIns
+			if fv < tv {
+				fv = tv
+			}
+			if qj+1 <= qlen {
+				fm[ti][qj+1] = fv
+			}
+		}
+		h1 := hm[ti][qlen]
+		if gscore <= h1 {
+			maxIE, gscore = ti-1, h1
+		}
+		if m == 0 {
+			break
+		}
+		if m > max {
+			max, maxI, maxJ = m, ti-1, mj
+			off := mj - (ti - 1)
+			if off < 0 {
+				off = -off
+			}
+			if off > maxOff {
+				maxOff = off
+			}
+		}
+	}
+	return ExtResult{Score: max, QLE: maxJ + 1, TLE: maxI + 1,
+		GTLE: maxIE + 1, GScore: gscore, MaxOff: maxOff}
+}
+
+// randSeq returns n random bases.
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+// mutate copies src applying some substitutions.
+func mutate(rng *rand.Rand, src []byte, subs int) []byte {
+	out := append([]byte(nil), src...)
+	for i := 0; i < subs; i++ {
+		out[rng.Intn(len(out))] = byte(rng.Intn(4))
+	}
+	return out
+}
+
+func TestExtendScalarPerfectMatch(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 5, 50, 200} {
+		s := randSeq(rng, n)
+		h0 := 30
+		res := ExtendScalar(&p, s, s, 100, h0, nil, nil)
+		want := h0 + n // one match point per base
+		if res.Score != want || res.QLE != n || res.TLE != n {
+			t.Fatalf("n=%d: %+v, want score %d qle/tle %d", n, res, want, n)
+		}
+		if res.GScore != want || res.GTLE != n {
+			t.Fatalf("n=%d: gscore %d gtle %d, want %d %d", n, res.GScore, res.GTLE, want, n)
+		}
+		if res.MaxOff != 0 {
+			t.Fatalf("n=%d: max_off = %d on the main diagonal", n, res.MaxOff)
+		}
+	}
+}
+
+func TestExtendScalarSingleMismatch(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(42))
+	n, h0 := 40, 25
+	q := randSeq(rng, n)
+	tg := append([]byte(nil), q...)
+	tg[20] = (tg[20] + 1) & 3
+	res := ExtendScalar(&p, q, tg, 100, h0, nil, nil)
+	// Best full extension: h0 + 39 matches - 4 mismatch.
+	want := h0 + (n - 1) - 4
+	if res.Score != want || res.QLE != n || res.TLE != n {
+		t.Fatalf("%+v, want score %d", res, want)
+	}
+	// Prefix-only alignment would be h0+20 at (20,20); full wins since 60>45.
+	if res.GScore != want {
+		t.Fatalf("gscore = %d, want %d", res.GScore, want)
+	}
+}
+
+func TestExtendScalarSingleDeletion(t *testing.T) {
+	// Target has one extra base (a deletion from the query's perspective).
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(43))
+	n, h0 := 40, 30
+	q := randSeq(rng, n)
+	tg := make([]byte, 0, n+1)
+	tg = append(tg, q[:20]...)
+	tg = append(tg, (q[20]+2)&3)
+	tg = append(tg, q[20:]...)
+	res := ExtendScalar(&p, q, tg, 100, h0, nil, nil)
+	want := h0 + n - p.ODel - p.EDel // 40 matches, one 1-base gap
+	if res.Score != want {
+		t.Fatalf("score = %d, want %d (%+v)", res.Score, want, res)
+	}
+	if res.TLE != n+1 || res.QLE != n {
+		t.Fatalf("qle/tle = %d/%d, want %d/%d", res.QLE, res.TLE, n, n+1)
+	}
+}
+
+func TestExtendScalarZeroRowAborts(t *testing.T) {
+	// A tiny h0 against garbage dies immediately: score stays h0.
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(44))
+	q := randSeq(rng, 30)
+	tg := mutate(rng, q, 30) // heavy corruption
+	res := ExtendScalar(&p, q, tg, 100, 1, nil, nil)
+	if res.Score < 1 {
+		t.Fatalf("score %d below h0", res.Score)
+	}
+}
+
+func TestExtendScalarEmptyInputs(t *testing.T) {
+	p := DefaultParams()
+	res := ExtendScalar(&p, nil, []byte{0, 1, 2}, 100, 10, nil, nil)
+	if res.Score != 10 || res.QLE != 0 {
+		t.Fatalf("empty query: %+v", res)
+	}
+	res = ExtendScalar(&p, []byte{0, 1, 2}, nil, 100, 10, nil, nil)
+	if res.Score != 10 || res.TLE != 0 || res.GScore != -1 {
+		t.Fatalf("empty target: %+v", res)
+	}
+}
+
+func TestExtendScalarMatchesDenseReference(t *testing.T) {
+	// Compare against the independent full-matrix implementation in the
+	// regime where they are defined to agree: a huge h0 keeps every cell
+	// positive (no zero-region shrinking), Zdrop=0 disables the drop
+	// heuristic, and tlen <= qlen keeps the effective band (which the
+	// scalar engine clamps to about qlen) from ever clipping a row.
+	p := DefaultParams()
+	p.Zdrop = 0
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 300; trial++ {
+		qlen := 2 + rng.Intn(12)
+		tlen := 1 + rng.Intn(qlen)
+		var q, tg []byte
+		if trial%2 == 0 {
+			q, tg = randSeq(rng, qlen), randSeq(rng, tlen)
+		} else {
+			q = randSeq(rng, qlen)
+			tg = mutate(rng, q, 1+rng.Intn(3))
+			tg = tg[:min(len(tg), tlen)]
+			if len(tg) == 0 {
+				tg = randSeq(rng, 1)
+			}
+		}
+		h0 := 500 // dominates any penalty sum at these lengths
+		got := ExtendScalar(&p, q, tg, 100, h0, nil, nil)
+		want := refExtendDense(&p, q, tg, h0)
+		if got != want {
+			t.Fatalf("trial %d: q=%v t=%v h0=%d:\ngot  %+v\nwant %+v", trial, q, tg, h0, got, want)
+		}
+	}
+}
+
+func TestExtendScalarCellStats(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(46))
+	q := randSeq(rng, 100)
+	tg := mutate(rng, q, 5)
+	var st CellStats
+	ExtendScalar(&p, q, tg, 100, 30, nil, &st)
+	if st.ScalarCells == 0 || st.ScalarRows == 0 {
+		t.Fatalf("stats not collected: %+v", st)
+	}
+	if st.ScalarCells > int64(len(q))*int64(len(tg)) {
+		t.Fatalf("more cells than the full matrix: %+v", st)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package bsw
+
+// sortJobsByLength orders job indices by a radix sort on sequence lengths
+// (§5.3.1): grouping pairs of similar size into the same lane group curbs
+// wasteful cell computations caused by length variation. The key packs
+// max(qlen, tlen) above min(qlen, tlen) so that the dominant cost driver
+// sorts first; the LSD byte-radix passes keep equal keys in input order
+// (stable), matching the deterministic batching the paper relies on for
+// identical output.
+func sortJobsByLength(jobs []Job, order []int) []int {
+	n := len(order)
+	if n < 2 {
+		return order
+	}
+	keys := make([]uint32, n)
+	for i, id := range order {
+		q, t := len(jobs[id].Query), len(jobs[id].Target)
+		hi, lo := q, t
+		if t > q {
+			hi, lo = t, q
+		}
+		if hi > 0xFFFF {
+			hi = 0xFFFF
+		}
+		if lo > 0xFFFF {
+			lo = 0xFFFF
+		}
+		keys[i] = uint32(hi)<<16 | uint32(lo)
+	}
+	tmpOrder := make([]int, n)
+	tmpKeys := make([]uint32, n)
+	var count [256]int
+	for shift := uint(0); shift < 32; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range keys {
+			count[(k>>shift)&0xFF]++
+		}
+		if count[keys[0]>>shift&0xFF] == n {
+			continue // all keys share this digit
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := (keys[i] >> shift) & 0xFF
+			tmpOrder[count[d]] = order[i]
+			tmpKeys[count[d]] = keys[i]
+			count[d]++
+		}
+		order, tmpOrder = tmpOrder, order
+		keys, tmpKeys = tmpKeys, keys
+	}
+	return order
+}

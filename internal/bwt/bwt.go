@@ -1,0 +1,112 @@
+// Package bwt builds the Burrows-Wheeler transform of the (doubled) reference
+// text and defines the row conventions shared by the FM-index and the
+// suffix-array lookup kernel.
+//
+// Conventions (identical to BWA's): the indexed text T has length N over the
+// codes {0,1,2,3}; a virtual sentinel '$', smaller than every base, terminates
+// it. The Burrows-Wheeler matrix therefore has N+1 rows, numbered 0..N, with
+// row 0 always the sentinel suffix. The transform column B' has one '$' at
+// row Primary (the row of the suffix starting at text position 0). B' is
+// stored with that sentinel character removed as B0 of length N; rank queries
+// shift around Primary to recover full-column semantics.
+package bwt
+
+import (
+	"fmt"
+
+	"repro/internal/sais"
+)
+
+// BWT is the Burrows-Wheeler transform of a text plus the counts needed for
+// backward search.
+type BWT struct {
+	N       int    // length of the indexed text; the BW matrix has N+1 rows
+	Primary int    // full-matrix row whose transform character is the sentinel
+	B0      []byte // transform column with the sentinel character removed; len N
+	Counts  [4]int // occurrences of each base in the text
+	C       [5]int // C[c]: first row whose suffix starts with base c; C[4] = N+1
+}
+
+// FromText computes the suffix array of text (codes 0..3) with SA-IS and
+// derives the BWT. It returns the BWT and the full-matrix suffix array SA'
+// of length N+1 (SA'[0] = N for the sentinel row) for suffix-array-lookup
+// construction.
+func FromText(text []byte) (*BWT, []int32, error) {
+	for i, c := range text {
+		if c > 3 {
+			return nil, nil, fmt.Errorf("bwt: text[%d] = %d is not a 2-bit base code", i, c)
+		}
+	}
+	sa := sais.Build(text)
+	b, full := FromSA(text, sa)
+	return b, full, nil
+}
+
+// FromSA derives the BWT from a text and its (sentinel-less) suffix array as
+// produced by sais.Build. It returns the BWT and the full-matrix suffix
+// array (with the sentinel row prepended).
+func FromSA(text []byte, sa []int32) (*BWT, []int32) {
+	n := len(text)
+	b := &BWT{N: n, B0: make([]byte, n), Primary: -1}
+	for _, c := range text {
+		b.Counts[c]++
+	}
+	b.C[0] = 1 // row 0 is the sentinel suffix
+	for c := 0; c < 4; c++ {
+		b.C[c+1] = b.C[c] + b.Counts[c]
+	}
+
+	full := make([]int32, n+1)
+	full[0] = int32(n)
+	copy(full[1:], sa)
+
+	// Row 0 precedes the sentinel suffix, so its transform char is T[n-1].
+	// Row i>0 holds suffix p=sa[i-1]; its transform char is T[p-1], except
+	// p==0 whose char is the sentinel: that row becomes Primary and is
+	// skipped in B0.
+	if n > 0 {
+		b.B0[0] = text[n-1]
+	}
+	w := 1
+	for i := 1; i <= n; i++ {
+		p := full[i]
+		if p == 0 {
+			b.Primary = i
+			continue
+		}
+		b.B0[w] = text[p-1]
+		w++
+	}
+	return b, full
+}
+
+// Rows returns the number of rows of the BW matrix, N+1.
+func (b *BWT) Rows() int { return b.N + 1 }
+
+// Char returns the transform character B'[k] for a full-matrix row k. It
+// must not be called with k == Primary (that row's character is the
+// sentinel, which is not a base).
+func (b *BWT) Char(k int) byte {
+	if k > b.Primary {
+		k--
+	}
+	return b.B0[k]
+}
+
+// StoredIndex maps a full-matrix row k (k != Primary) to its index in B0.
+func (b *BWT) StoredIndex(k int) int {
+	if k > b.Primary {
+		return k - 1
+	}
+	return k
+}
+
+// RankShift maps an inclusive full-column rank bound k in [-1, N] to the
+// corresponding inclusive bound over B0 in [-1, N-1]: occurrences of c in
+// B'[0..k] equal occurrences of c in B0[0..RankShift(k)].
+func (b *BWT) RankShift(k int) int {
+	if k >= b.Primary {
+		return k - 1
+	}
+	return k
+}

@@ -1,0 +1,186 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// refBWT computes the BWT the slow, obviously-correct way: sort all rotations
+// of text+'$' (sentinel = 0xFF mapped below code 0 via custom compare) and
+// take the last column. It returns the full column (sentinel as 0xFE) and the
+// primary row.
+func refBWT(text []byte) (full []byte, primary int) {
+	n := len(text)
+	t := make([]byte, n+1)
+	for i, c := range text {
+		t[i] = c + 1 // shift so sentinel 0 is smallest
+	}
+	t[n] = 0
+	rot := make([]int, n+1)
+	for i := range rot {
+		rot[i] = i
+	}
+	sort.Slice(rot, func(a, b int) bool {
+		// Compare rotations starting at rot[a], rot[b].
+		ra, rb := rot[a], rot[b]
+		for i := 0; i <= n; i++ {
+			ca, cb := t[(ra+i)%(n+1)], t[(rb+i)%(n+1)]
+			if ca != cb {
+				return ca < cb
+			}
+		}
+		return false
+	})
+	full = make([]byte, n+1)
+	primary = -1
+	for i, r := range rot {
+		last := t[(r+n)%(n+1)]
+		if last == 0 {
+			full[i] = 0xFE
+			primary = i
+		} else {
+			full[i] = last - 1
+		}
+	}
+	return full, primary
+}
+
+func checkAgainstRef(t *testing.T, text []byte) {
+	t.Helper()
+	b, full, err := FromText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFull, wantPrimary := refBWT(text)
+	if b.Primary != wantPrimary {
+		t.Fatalf("Primary = %d, want %d (text %v)", b.Primary, wantPrimary, text)
+	}
+	// Reconstruct the stored column from the reference full column.
+	var wantB0 []byte
+	for i, c := range wantFull {
+		if i != wantPrimary {
+			wantB0 = append(wantB0, c)
+		}
+	}
+	if !bytes.Equal(b.B0, wantB0) {
+		t.Fatalf("B0 = %v, want %v (text %v)", b.B0, wantB0, text)
+	}
+	// Char must agree with the full column on every non-primary row.
+	for k := 0; k <= b.N; k++ {
+		if k == b.Primary {
+			continue
+		}
+		if b.Char(k) != wantFull[k] {
+			t.Fatalf("Char(%d) = %d, want %d", k, b.Char(k), wantFull[k])
+		}
+	}
+	if full[0] != int32(len(text)) {
+		t.Fatalf("full SA row 0 = %d, want %d", full[0], len(text))
+	}
+}
+
+func TestFromTextPaperExample(t *testing.T) {
+	// Figure 1 of the paper: R = ATACGAC, sentinel appended.
+	text := seq.Encode([]byte("ATACGAC"))
+	b, full, err := FromText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1 suffix array S = (7 5 2 0 6 3 4 1); our full SA matches it.
+	wantSA := []int32{7, 5, 2, 0, 6, 3, 4, 1}
+	for i, w := range wantSA {
+		if full[i] != w {
+			t.Fatalf("full SA = %v, want %v", full, wantSA)
+		}
+	}
+	// BWT column of ATACGAC$ is CGT$AACA; primary row is index 3.
+	if b.Primary != 3 {
+		t.Fatalf("Primary = %d, want 3", b.Primary)
+	}
+	wantB0 := seq.Encode([]byte("CGTAACA"))
+	if !bytes.Equal(b.B0, wantB0) {
+		t.Fatalf("B0 = %v, want %v", b.B0, wantB0)
+	}
+	// C array: counts A=3 C=2 G=1 T=1 -> C = [1 4 6 7 8]
+	want := [5]int{1, 4, 6, 7, 8}
+	if b.C != want {
+		t.Fatalf("C = %v, want %v", b.C, want)
+	}
+}
+
+func TestFromTextRandomAgainstRotations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte(rng.Intn(4))
+		}
+		checkAgainstRef(t, text)
+	}
+}
+
+func TestFromTextRejectsBadCodes(t *testing.T) {
+	if _, _, err := FromText([]byte{0, 1, 4}); err == nil {
+		t.Fatal("expected error for code 4")
+	}
+}
+
+func TestRankShiftAndStoredIndex(t *testing.T) {
+	text := seq.Encode([]byte("ATACGAC"))
+	b, _, _ := FromText(text)
+	// RankShift: identity below primary, minus one at/after.
+	if b.RankShift(-1) != -1 {
+		t.Error("RankShift(-1)")
+	}
+	if b.RankShift(b.Primary-1) != b.Primary-1 {
+		t.Error("RankShift(primary-1)")
+	}
+	if b.RankShift(b.Primary) != b.Primary-1 {
+		t.Error("RankShift(primary)")
+	}
+	if b.RankShift(b.N) != b.N-1 {
+		t.Error("RankShift(N)")
+	}
+	if b.StoredIndex(b.Primary-1) != b.Primary-1 || b.StoredIndex(b.Primary+1) != b.Primary {
+		t.Error("StoredIndex around primary")
+	}
+}
+
+// TestLFCycle checks the fundamental LF-mapping property using B0 and C
+// directly: iterating LF from the primary row must visit all rows and spell
+// the text backwards.
+func TestLFCycle(t *testing.T) {
+	text := seq.Encode([]byte("ACGTACGTTTACGGCA"))
+	b, full, _ := FromText(text)
+	// rank over B0 computed naively
+	rank := func(c byte, k int) int { // occurrences in B'[0..k]
+		k = b.RankShift(k)
+		cnt := 0
+		for i := 0; i <= k; i++ {
+			if b.B0[i] == c {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	lf := func(k int) int {
+		if k == b.Primary {
+			return 0
+		}
+		c := b.Char(k)
+		return b.C[c] + rank(c, k) - 1
+	}
+	// SA'[lf(k)] must equal SA'[k]-1 (mod N+1).
+	for k := 0; k <= b.N; k++ {
+		got := int(full[lf(k)])
+		want := (int(full[k]) - 1 + b.N + 1) % (b.N + 1)
+		if got != want {
+			t.Fatalf("LF(%d): SA=%d, want %d", k, got, want)
+		}
+	}
+}

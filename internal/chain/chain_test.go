@@ -1,0 +1,197 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ridAll(_, _ int) int { return 0 } // single-contig resolver
+
+func TestBuildChainsCollinearSeeds(t *testing.T) {
+	opt := DefaultOpts()
+	// Three collinear seeds along one diagonal, then one far away.
+	seeds := []Seed{
+		{RBeg: 1000, QBeg: 0, Len: 25, Score: 25},
+		{RBeg: 1030, QBeg: 30, Len: 25, Score: 25},
+		{RBeg: 1060, QBeg: 60, Len: 25, Score: 25},
+		{RBeg: 90000, QBeg: 10, Len: 25, Score: 25},
+	}
+	chains := Build(&opt, 1<<30, seeds, ridAll, 0)
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2: %+v", len(chains), chains)
+	}
+	var big *Chain
+	for _, c := range chains {
+		if len(c.Seeds) == 3 {
+			big = c
+		}
+	}
+	if big == nil {
+		t.Fatalf("no 3-seed chain: %+v", chains)
+	}
+	if big.QBeg() != 0 || big.QEnd() != 85 {
+		t.Fatalf("chain span %d..%d", big.QBeg(), big.QEnd())
+	}
+}
+
+func TestBuildRejectsOffDiagonal(t *testing.T) {
+	opt := DefaultOpts()
+	// Second seed is collinear in query but wildly off in reference (beyond
+	// the W-band collinearity test).
+	seeds := []Seed{
+		{RBeg: 1000, QBeg: 0, Len: 25},
+		{RBeg: 1500, QBeg: 30, Len: 25}, // x=30, y=500 -> |x-y| > W
+	}
+	chains := Build(&opt, 1<<30, seeds, ridAll, 0)
+	if len(chains) != 2 {
+		t.Fatalf("off-diagonal seed must open a new chain: %+v", chains)
+	}
+}
+
+func TestBuildRejectsBackwardReference(t *testing.T) {
+	opt := DefaultOpts()
+	seeds := []Seed{
+		{RBeg: 1000, QBeg: 0, Len: 25},
+		{RBeg: 900, QBeg: 30, Len: 25}, // y < 0
+	}
+	chains := Build(&opt, 1<<30, seeds, ridAll, 0)
+	if len(chains) != 2 {
+		t.Fatalf("backward seed must open a new chain: %+v", chains)
+	}
+}
+
+func TestBuildContainedSeedAbsorbed(t *testing.T) {
+	opt := DefaultOpts()
+	seeds := []Seed{
+		{RBeg: 1000, QBeg: 0, Len: 50},
+		{RBeg: 1010, QBeg: 10, Len: 20}, // contained in the first
+	}
+	chains := Build(&opt, 1<<30, seeds, ridAll, 0)
+	if len(chains) != 1 || len(chains[0].Seeds) != 1 {
+		t.Fatalf("contained seed should be absorbed: %+v", chains)
+	}
+}
+
+func TestBuildStrandSeparation(t *testing.T) {
+	opt := DefaultOpts()
+	lPac := 5000
+	seeds := []Seed{
+		{RBeg: 4950, QBeg: 0, Len: 20},  // forward strand
+		{RBeg: 5015, QBeg: 25, Len: 20}, // reverse strand (>= lPac)
+	}
+	// ridOf rejects bridging spans like core's resolver would.
+	ridOf := func(rb, re int) int {
+		if rb < lPac && re > lPac {
+			return -1
+		}
+		return 0
+	}
+	chains := Build(&opt, lPac, seeds, ridOf, 0)
+	if len(chains) != 2 {
+		t.Fatalf("strand-crossing chain must split: %+v", chains)
+	}
+}
+
+func TestBuildSkipsBridgingSeeds(t *testing.T) {
+	opt := DefaultOpts()
+	seeds := []Seed{{RBeg: 100, QBeg: 0, Len: 30}}
+	chains := Build(&opt, 1<<30, seeds, func(_, _ int) int { return -1 }, 0)
+	if len(chains) != 0 {
+		t.Fatalf("bridging seed must be dropped: %+v", chains)
+	}
+}
+
+func TestWeightCountsNonOverlapping(t *testing.T) {
+	c := &Chain{Seeds: []Seed{
+		{RBeg: 0, QBeg: 0, Len: 30},
+		{RBeg: 20, QBeg: 20, Len: 30}, // overlaps previous by 10
+	}}
+	if w := c.weight(); w != 50 {
+		t.Fatalf("weight = %d, want 50", w)
+	}
+}
+
+func TestFilterShadowedChains(t *testing.T) {
+	opt := DefaultOpts()
+	strong := &Chain{Seeds: []Seed{{RBeg: 1000, QBeg: 0, Len: 80}}, Pos: 1000}
+	// Two weak chains covering the same query span with far lower weight:
+	// BWA keeps the FIRST shadowed chain (Kept=1, for mapq accuracy) and
+	// drops later ones.
+	weak1 := &Chain{Seeds: []Seed{{RBeg: 70000, QBeg: 10, Len: 20}}, Pos: 70000}
+	weak2 := &Chain{Seeds: []Seed{{RBeg: 90000, QBeg: 12, Len: 19}}, Pos: 90000}
+	out := Filter(&opt, []*Chain{strong, weak1, weak2})
+	if len(out) != 2 {
+		t.Fatalf("want strong + first shadow, got %d chains", len(out))
+	}
+	if out[0] != strong || out[0].Kept != 3 {
+		t.Fatalf("primary chain wrong: %+v", out[0])
+	}
+	if out[1] != weak1 || out[1].Kept != 1 {
+		t.Fatalf("first shadow should be kept with Kept=1: %+v", out[1])
+	}
+}
+
+func TestFilterKeepsNonOverlapping(t *testing.T) {
+	opt := DefaultOpts()
+	a := &Chain{Seeds: []Seed{{RBeg: 1000, QBeg: 0, Len: 40}}, Pos: 1000}
+	b := &Chain{Seeds: []Seed{{RBeg: 50000, QBeg: 60, Len: 40}}, Pos: 50000}
+	out := Filter(&opt, []*Chain{a, b})
+	if len(out) != 2 {
+		t.Fatalf("non-overlapping chains must both survive: %+v", out)
+	}
+}
+
+func TestFilterKeepsFirstShadow(t *testing.T) {
+	opt := DefaultOpts()
+	// Two chains with close weights on the same span: the weaker one is kept
+	// (Kept=1or2) so mapq can see the suboptimal hit.
+	a := &Chain{Seeds: []Seed{{RBeg: 1000, QBeg: 0, Len: 80}}, Pos: 1000}
+	b := &Chain{Seeds: []Seed{{RBeg: 70000, QBeg: 0, Len: 75}}, Pos: 70000}
+	out := Filter(&opt, []*Chain{a, b})
+	if len(out) != 2 {
+		t.Fatalf("near-equal chain should be kept: %+v", out)
+	}
+}
+
+func TestFilterMinChainWeight(t *testing.T) {
+	opt := DefaultOpts()
+	opt.MinChainWeight = 30
+	c := &Chain{Seeds: []Seed{{RBeg: 10, QBeg: 0, Len: 20}}, Pos: 10}
+	if out := Filter(&opt, []*Chain{c}); len(out) != 0 {
+		t.Fatalf("light chain should be dropped: %+v", out)
+	}
+}
+
+func TestFilterEmpty(t *testing.T) {
+	opt := DefaultOpts()
+	if out := Filter(&opt, nil); len(out) != 0 {
+		t.Fatal("empty filter")
+	}
+}
+
+func TestBuildManyRandomSeedsStaysSorted(t *testing.T) {
+	opt := DefaultOpts()
+	rng := rand.New(rand.NewSource(71))
+	var seeds []Seed
+	q := 0
+	for i := 0; i < 500; i++ {
+		q += rng.Intn(5)
+		seeds = append(seeds, Seed{
+			RBeg: rng.Intn(1 << 20), QBeg: q, Len: 19 + rng.Intn(30),
+		})
+	}
+	chains := Build(&opt, 1<<30, seeds, ridAll, 0)
+	total := 0
+	for _, c := range chains {
+		total += len(c.Seeds)
+		// Seeds within a chain are query-ordered and reference-ordered.
+		for i := 1; i < len(c.Seeds); i++ {
+			if c.Seeds[i].QBeg < c.Seeds[i-1].QBeg {
+				t.Fatal("chain seeds out of query order")
+			}
+		}
+	}
+	if total == 0 || total > len(seeds) {
+		t.Fatalf("seed conservation: %d of %d", total, len(seeds))
+	}
+}

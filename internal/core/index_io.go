@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bwt"
+	"repro/internal/fmindex"
+	"repro/internal/sal"
+	"repro/internal/seq"
+)
+
+// Prebuilt bundles everything expensive about an index — the packed
+// reference, the BWT and the full suffix array — so it can be written to
+// disk once ("bwamem index") and reused by any aligner mode. The
+// occurrence tables are rebuilt on load (a linear scan, negligible next to
+// suffix-array construction).
+type Prebuilt struct {
+	Ref    *seq.Reference
+	BWT    *bwt.BWT
+	FullSA []int32
+}
+
+// BuildPrebuilt constructs the index data from a reference.
+func BuildPrebuilt(ref *seq.Reference) (*Prebuilt, error) {
+	b, full, err := bwt.FromText(ref.Doubled())
+	if err != nil {
+		return nil, err
+	}
+	return &Prebuilt{Ref: ref, BWT: b, FullSA: full}, nil
+}
+
+// NewAlignerFrom assembles an aligner from prebuilt index data.
+func NewAlignerFrom(pi *Prebuilt, mode Mode, opts Options) (*Aligner, error) {
+	flavor := fmindex.Baseline
+	if mode == ModeOptimized {
+		flavor = fmindex.Optimized
+	}
+	idx := fmindex.New(pi.BWT, flavor)
+	var lookup sal.Lookuper
+	if mode == ModeOptimized || opts.SACompression <= 1 {
+		lookup = sal.NewFlat(pi.FullSA)
+	} else {
+		var err error
+		lookup, err = sal.NewCompressed(pi.FullSA, opts.SACompression, idx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	a := &Aligner{
+		Ref: pi.Ref, Idx: idx, SA: lookup, Opts: opts, Mode: mode,
+		par5:   opts.bswParams(opts.PenClip5),
+		par3:   opts.bswParams(opts.PenClip3),
+		chOpts: opts.chainOpts(),
+	}
+	a.batchCfg.Width8 = opts.BatchWidth8
+	a.batchCfg.Width16 = opts.BatchWidth16
+	a.batchCfg.Sort = !opts.DisableBSWSort
+	return a, nil
+}
+
+const (
+	indexMagic   = "BWAGOIDX"
+	indexVersion = uint32(1)
+)
+
+// WriteIndex serializes prebuilt index data in a compact little-endian
+// binary format.
+func (pi *Prebuilt) WriteIndex(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	if err := writeU32(indexVersion); err != nil {
+		return err
+	}
+	// Contigs.
+	if err := writeU32(uint32(len(pi.Ref.Contigs))); err != nil {
+		return err
+	}
+	for _, c := range pi.Ref.Contigs {
+		if err := writeU32(uint32(len(c.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(c.Offset)); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(c.Len)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(pi.Ref.NumAmb)); err != nil {
+		return err
+	}
+	// Packed forward strand.
+	if err := writeU32(uint32(len(pi.Ref.Pac))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(pi.Ref.Pac); err != nil {
+		return err
+	}
+	// BWT.
+	if err := writeU32(uint32(pi.BWT.N)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(pi.BWT.Primary)); err != nil {
+		return err
+	}
+	if _, err := bw.Write(pi.BWT.B0); err != nil {
+		return err
+	}
+	// Suffix array.
+	if err := writeU32(uint32(len(pi.FullSA))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, pi.FullSA); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes index data written by WriteIndex.
+func ReadIndex(r io.Reader) (*Prebuilt, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading index magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("core: not a bwamem-go index (magic %q)", magic)
+	}
+	le := binary.LittleEndian
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	ver, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != indexVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", ver)
+	}
+	nc, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ref := &seq.Reference{}
+	for i := uint32(0); i < nc; i++ {
+		nl, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nl)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		off, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		ln, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		ref.Contigs = append(ref.Contigs, seq.Contig{Name: string(name), Offset: int(off), Len: int(ln)})
+	}
+	numAmb, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ref.NumAmb = int(numAmb)
+	pacLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ref.Pac = make([]byte, pacLen)
+	if _, err := io.ReadFull(br, ref.Pac); err != nil {
+		return nil, err
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	primary, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	b := &bwt.BWT{N: int(n), Primary: int(primary), B0: make([]byte, n)}
+	if _, err := io.ReadFull(br, b.B0); err != nil {
+		return nil, err
+	}
+	for _, c := range b.B0 {
+		if c > 3 {
+			return nil, fmt.Errorf("core: corrupt index: BWT code %d", c)
+		}
+		b.Counts[c]++
+	}
+	b.C[0] = 1
+	for c := 0; c < 4; c++ {
+		b.C[c+1] = b.C[c] + b.Counts[c]
+	}
+	saLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(saLen) != b.N+1 {
+		return nil, fmt.Errorf("core: corrupt index: SA length %d for text length %d", saLen, b.N)
+	}
+	full := make([]int32, saLen)
+	if err := binary.Read(br, le, full); err != nil {
+		return nil, err
+	}
+	return &Prebuilt{Ref: ref, BWT: b, FullSA: full}, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	ref := testRef(t, 12000, 201)
+	pi, err := BuildPrebuilt(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pi.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pi2, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pi.Ref.Pac, pi2.Ref.Pac) || !reflect.DeepEqual(pi.Ref.Contigs, pi2.Ref.Contigs) {
+		t.Fatal("reference mismatch after round trip")
+	}
+	if pi.BWT.Primary != pi2.BWT.Primary || !bytes.Equal(pi.BWT.B0, pi2.BWT.B0) ||
+		pi.BWT.C != pi2.BWT.C || pi.BWT.Counts != pi2.BWT.Counts {
+		t.Fatal("BWT mismatch after round trip")
+	}
+	if !reflect.DeepEqual(pi.FullSA, pi2.FullSA) {
+		t.Fatal("suffix array mismatch after round trip")
+	}
+}
+
+func TestAlignerFromPrebuiltMatchesDirect(t *testing.T) {
+	ref := testRef(t, 15000, 202)
+	pi, err := BuildPrebuilt(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pi.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pi2, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeBaseline, ModeOptimized} {
+		direct := newTestAligner(t, ref, mode)
+		loaded, err := NewAlignerFrom(pi2, mode, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, _ := sampleRead(randFor(203), ref, 100, 2, false)
+		codes := seq.Encode(rd.Seq)
+		r1 := direct.AlignRead(codes, nil)
+		r2 := loaded.AlignRead(codes, nil)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("%v: loaded index disagrees with direct build", mode)
+		}
+		s1 := string(direct.AppendSAM(nil, &rd, codes, r1))
+		s2 := string(loaded.AppendSAM(nil, &rd, codes, r2))
+		if s1 != s2 {
+			t.Fatalf("%v: SAM differs:\n%s%s", mode, s1, s2)
+		}
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("not an index at all"))); err == nil {
+		t.Fatal("garbage should not parse")
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should not parse")
+	}
+	// Truncated index.
+	ref := testRef(t, 2000, 204)
+	pi, _ := BuildPrebuilt(ref)
+	var buf bytes.Buffer
+	pi.WriteIndex(&buf)
+	if _, err := ReadIndex(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated index should not parse")
+	}
+}

@@ -1,0 +1,152 @@
+// Package core assembles the full BWA-MEM read aligner from the kernel
+// substrates: SMEM seeding (fmindex), suffix-array lookup (sal), seed
+// chaining (chain), banded Smith-Waterman extension (bsw), and SAM output.
+//
+// The same algorithm runs in two modes that mirror the paper's comparison:
+//
+//   - ModeBaseline reproduces original BWA-MEM's design: η=128 occurrence
+//     table, compressed suffix array (factor 128), and sequential scalar
+//     seed extension with the contained-seed skip heuristic applied online.
+//   - ModeOptimized reproduces the paper's design (bwa-mem2): η=32
+//     occurrence table with software prefetching, flat suffix array, and
+//     batched inter-task extension that extends all seeds and replays the
+//     skip heuristic afterwards (§5.3.2).
+//
+// Both modes produce identical alignments; this is the paper's central
+// requirement and is enforced by tests.
+package core
+
+import (
+	"math"
+
+	"repro/internal/bsw"
+	"repro/internal/chain"
+	"repro/internal/fmindex"
+)
+
+// Mode selects which of the paper's two implementations drives the kernels.
+type Mode int
+
+const (
+	// ModeBaseline is original BWA-MEM (the paper's "Orig.").
+	ModeBaseline Mode = iota
+	// ModeOptimized is the paper's architecture-aware design ("Opt.").
+	ModeOptimized
+)
+
+func (m Mode) String() string {
+	if m == ModeOptimized {
+		return "optimized"
+	}
+	return "baseline"
+}
+
+// Options mirrors BWA-MEM's mem_opt_t (defaults from mem_opt_init).
+type Options struct {
+	// Scoring.
+	MatchScore     int // -A (1)
+	MismatchPen    int // -B (4)
+	ODel, EDel     int // -O, -E (6, 1)
+	OIns, EIns     int // (6, 1)
+	PenClip5       int // 5' clipping penalty / end bonus (5)
+	PenClip3       int // 3' clipping penalty / end bonus (5)
+	W              int // band width (100)
+	Zdrop          int // z-drop (100)
+	ScoreThreshold int // -T: minimum score to output (30)
+
+	// Seeding.
+	Seed   fmindex.SeedOpts
+	MaxOcc int // maximum occurrences sampled per seed interval (500)
+
+	// Chaining.
+	MaxChainGap    int     // 10000
+	MaskLevel      float64 // 0.50
+	DropRatio      float64 // 0.50
+	MinChainWeight int     // 0
+
+	// Region post-processing and mapq.
+	MaskLevelRedun float64 // 0.95
+	MapQCoefLen    int     // 50
+	MapQCoefFac    float64 // log(MapQCoefLen)
+
+	// Output.
+	OutputAll bool // emit secondary alignments (bwa mem -a)
+
+	// LaneBSW selects the paper-faithful inter-task lane kernels for the
+	// batched pipeline's extension stage. The lane schedule is the paper's
+	// exact SIMD algorithm, but pure Go executes the lanes serially, so it
+	// pays the wasteful-cell overhead without the vector payoff; it also
+	// extends every seed and replays the skip heuristic afterwards
+	// (§5.3.2), which costs extra extensions. With LaneBSW false (the
+	// default), the batched pipeline keeps the Figure-2 stage organization
+	// but extends with the scalar engine and the online skip heuristic —
+	// the configuration that actually wins on a SIMD-less target. Output
+	// is identical either way.
+	LaneBSW bool
+
+	// Ablation knobs (0 = mode default).
+	SACompression  int // suffix-array compression factor for ModeBaseline
+	BatchWidth8    int // lane width of the 8-bit batch kernel
+	BatchWidth16   int // lane width of the 16-bit batch kernel
+	DisableBSWSort bool
+}
+
+// DefaultOptions returns BWA-MEM's default parameters.
+func DefaultOptions() Options {
+	return Options{
+		MatchScore: 1, MismatchPen: 4,
+		ODel: 6, EDel: 1, OIns: 6, EIns: 1,
+		PenClip5: 5, PenClip3: 5,
+		W: 100, Zdrop: 100, ScoreThreshold: 30,
+		Seed:        fmindex.DefaultSeedOpts(),
+		MaxOcc:      500,
+		MaxChainGap: 10000, MaskLevel: 0.50, DropRatio: 0.50, MinChainWeight: 0,
+		MaskLevelRedun: 0.95,
+		MapQCoefLen:    50, MapQCoefFac: math.Log(50),
+		SACompression: 128,
+	}
+}
+
+// chainOpts derives the chaining parameter block.
+func (o *Options) chainOpts() chain.Opts {
+	return chain.Opts{
+		MaxChainGap: o.MaxChainGap, W: o.W, MaxOcc: o.MaxOcc,
+		MaskLevel: o.MaskLevel, DropRatio: o.DropRatio,
+		MinChainWeight: o.MinChainWeight, MinSeedLen: o.Seed.MinSeedLen,
+	}
+}
+
+// DefaultBSWParams derives the extension parameter block used by the kernel
+// benchmarks (end bonus = PenClip3, matching right extensions).
+func (o *Options) DefaultBSWParams() bsw.Params {
+	return o.bswParams(o.PenClip3)
+}
+
+// bswParams derives the extension parameter block with the given end bonus
+// (PenClip5 for left extensions, PenClip3 for right).
+func (o *Options) bswParams(endBonus int) bsw.Params {
+	p := bsw.Params{
+		ODel: o.ODel, EDel: o.EDel, OIns: o.OIns, EIns: o.EIns,
+		Zdrop: o.Zdrop, EndBonus: endBonus,
+	}
+	p.Mat = bsw.FillScoreMatrix(o.MatchScore, o.MismatchPen)
+	return p
+}
+
+// calMaxGap is BWA's cal_max_gap: the longest gap reachable from a flank of
+// the given query length under the scoring parameters, capped at 2W.
+func (o *Options) calMaxGap(qlen int) int {
+	lDel := int(float64(qlen*o.MatchScore-o.ODel)/float64(o.EDel) + 1)
+	lIns := int(float64(qlen*o.MatchScore-o.OIns)/float64(o.EIns) + 1)
+	l := lDel
+	if lIns > l {
+		l = lIns
+	}
+	if l < 1 {
+		l = 1
+	}
+	if cap2 := o.W << 1; l > cap2 {
+		l = cap2
+	}
+	return l
+}

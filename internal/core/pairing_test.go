@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// samplePair extracts an FR pair from the reference.
+func samplePair(rng *rand.Rand, ref *seq.Reference, readLen, insert, subs int) (r1, r2 seq.Read, pos int) {
+	pos = rng.Intn(ref.Lpac() - insert - 2)
+	frag := append([]byte(nil), ref.Pac[pos:pos+insert]...)
+	e1 := append([]byte(nil), frag[:readLen]...)
+	e2 := seq.RevComp(frag[insert-readLen:])
+	for i := 0; i < subs; i++ {
+		e1[rng.Intn(readLen)] = byte(rng.Intn(4))
+		e2[rng.Intn(readLen)] = byte(rng.Intn(4))
+	}
+	r1 = seq.Read{Name: "p", Seq: seq.Decode(e1)}
+	r2 = seq.Read{Name: "p", Seq: seq.Decode(e2)}
+	return
+}
+
+func alignPairs(t *testing.T, a *Aligner, ref *seq.Reference, n int, seed int64) (regs1, regs2 [][]Region) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ws := &Workspace{}
+	for i := 0; i < n; i++ {
+		insert := 280 + rng.Intn(60)
+		r1, r2, _ := samplePair(rng, ref, 100, insert, 1)
+		regs1 = append(regs1, a.AlignRead(seq.Encode(r1.Seq), ws))
+		regs2 = append(regs2, a.AlignRead(seq.Encode(r2.Seq), ws))
+	}
+	return
+}
+
+func TestInferPairStats(t *testing.T) {
+	ref := testRef(t, 60000, 301)
+	a := newTestAligner(t, ref, ModeOptimized)
+	regs1, regs2 := alignPairs(t, a, ref, 60, 302)
+	ps := a.InferPairStats(regs1, regs2)
+	if ps.Failed {
+		t.Fatal("stats inference failed with 60 clean pairs")
+	}
+	if ps.Mean < 260 || ps.Mean > 360 {
+		t.Fatalf("mean insert %.1f, want ~280-340", ps.Mean)
+	}
+	if ps.Low >= ps.High || ps.Low < 1 {
+		t.Fatalf("bad acceptance range [%d,%d]", ps.Low, ps.High)
+	}
+	if !(float64(ps.Low) < ps.Mean && ps.Mean < float64(ps.High)) {
+		t.Fatalf("mean outside range: %.1f not in [%d,%d]", ps.Mean, ps.Low, ps.High)
+	}
+}
+
+func TestInferPairStatsFailsOnFewPairs(t *testing.T) {
+	ref := testRef(t, 60000, 303)
+	a := newTestAligner(t, ref, ModeOptimized)
+	regs1, regs2 := alignPairs(t, a, ref, 3, 304)
+	if ps := a.InferPairStats(regs1, regs2); !ps.Failed {
+		t.Fatal("3 pairs should not yield stats")
+	}
+}
+
+func TestPairRegionsPicksConsistentPair(t *testing.T) {
+	ref := testRef(t, 60000, 305)
+	a := newTestAligner(t, ref, ModeOptimized)
+	regs1, regs2 := alignPairs(t, a, ref, 40, 306)
+	ps := a.InferPairStats(regs1, regs2)
+	paired := 0
+	for i := range regs1 {
+		sel, ok := a.PairRegions(&ps, regs1[i], regs2[i])
+		if !ok {
+			continue
+		}
+		paired++
+		r1, r2 := &regs1[i][sel.Z[0]], &regs2[i][sel.Z[1]]
+		isize, ok2 := a.insertSize(r1, r2)
+		if !ok2 || isize < ps.Low || isize > ps.High {
+			t.Fatalf("pair %d: selected inconsistent placement (isize %d)", i, isize)
+		}
+	}
+	if paired < 35 {
+		t.Fatalf("only %d/40 pairs paired", paired)
+	}
+}
+
+func TestAppendSAMPairRecords(t *testing.T) {
+	ref := testRef(t, 60000, 307)
+	a := newTestAligner(t, ref, ModeOptimized)
+	rng := rand.New(rand.NewSource(308))
+	// Build stats from a population first.
+	regsA, regsB := alignPairs(t, a, ref, 40, 309)
+	ps := a.InferPairStats(regsA, regsB)
+
+	insert := 300
+	r1, r2, pos := samplePair(rng, ref, 100, insert, 0)
+	q1, q2 := seq.Encode(r1.Seq), seq.Encode(r2.Seq)
+	ws := &Workspace{}
+	g1 := a.AlignRead(q1, ws)
+	g2 := a.AlignRead(q2, ws)
+	sam := string(a.AppendSAMPair(nil, &ps, &r1, &r2, q1, q2, g1, g2))
+	lines := strings.Split(strings.TrimSuffix(sam, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 records, got %d:\n%s", len(lines), sam)
+	}
+	f1 := strings.Split(lines[0], "\t")
+	f2 := strings.Split(lines[1], "\t")
+	flag1, flag2 := atoi(t, f1[1]), atoi(t, f2[1])
+	if flag1&FlagPaired == 0 || flag2&FlagPaired == 0 {
+		t.Fatalf("paired flags missing: %d %d", flag1, flag2)
+	}
+	if flag1&FlagFirst == 0 || flag2&FlagLast == 0 {
+		t.Fatalf("first/last flags wrong: %d %d", flag1, flag2)
+	}
+	if flag1&FlagProperPair == 0 || flag2&FlagProperPair == 0 {
+		t.Fatalf("proper-pair flags missing: %d %d", flag1, flag2)
+	}
+	// Exactly one end on the reverse strand; mate-reverse mirrors it.
+	if (flag1&FlagReverse != 0) == (flag2&FlagReverse != 0) {
+		t.Fatalf("FR orientation broken: %d %d", flag1, flag2)
+	}
+	if (flag1&FlagMateRev != 0) != (flag2&FlagReverse != 0) {
+		t.Fatalf("mate-reverse inconsistent: %d %d", flag1, flag2)
+	}
+	// RNEXT is '=' and PNEXT crosses over.
+	if f1[6] != "=" || f2[6] != "=" {
+		t.Fatalf("rnext: %q %q", f1[6], f2[6])
+	}
+	if f1[7] != f2[3] || f2[7] != f1[3] {
+		t.Fatalf("pnext mismatch: %v %v", f1[:9], f2[:9])
+	}
+	// TLEN is ±insert.
+	t1, t2 := atoi(t, f1[8]), atoi(t, f2[8])
+	if t1+t2 != 0 {
+		t.Fatalf("tlen not symmetric: %d %d", t1, t2)
+	}
+	if abs(t1) < insert-15 || abs(t1) > insert+15 {
+		t.Fatalf("tlen %d, want ~%d", t1, insert)
+	}
+	// Positions bracket the fragment.
+	p1, p2 := atoi(t, f1[3])-1, atoi(t, f2[3])-1
+	lo := p1
+	if p2 < lo {
+		lo = p2
+	}
+	if d := lo - pos; d < -10 || d > 10 {
+		t.Fatalf("fragment start %d, want ~%d", lo, pos)
+	}
+}
+
+func TestAppendSAMPairHalfMapped(t *testing.T) {
+	ref := testRef(t, 60000, 310)
+	a := newTestAligner(t, ref, ModeOptimized)
+	rng := rand.New(rand.NewSource(311))
+	regsA, regsB := alignPairs(t, a, ref, 40, 312)
+	ps := a.InferPairStats(regsA, regsB)
+	r1, _, _ := samplePair(rng, ref, 100, 300, 0)
+	r2 := seq.Read{Name: "p", Seq: []byte(strings.Repeat("N", 100))}
+	q1, q2 := seq.Encode(r1.Seq), seq.Encode(r2.Seq)
+	g1 := a.AlignRead(q1, nil)
+	g2 := a.AlignRead(q2, nil)
+	sam := string(a.AppendSAMPair(nil, &ps, &r1, &r2, q1, q2, g1, g2))
+	lines := strings.Split(strings.TrimSuffix(sam, "\n"), "\n")
+	f1 := strings.Split(lines[0], "\t")
+	f2 := strings.Split(lines[1], "\t")
+	flag1, flag2 := atoi(t, f1[1]), atoi(t, f2[1])
+	if flag1&FlagMateUnmap == 0 {
+		t.Fatalf("end 1 should flag unmapped mate: %d", flag1)
+	}
+	if flag2&FlagUnmapped == 0 {
+		t.Fatalf("end 2 should be unmapped: %d", flag2)
+	}
+	if flag1&FlagProperPair != 0 {
+		t.Fatalf("half-mapped pair cannot be proper: %d", flag1)
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, neg := 0, false
+	for i := 0; i < len(s); i++ {
+		if i == 0 && s[i] == '-' {
+			neg = true
+			continue
+		}
+		if s[i] < '0' || s[i] > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,78 @@
+// Package counters provides the per-stage wall-time accounting used to
+// regenerate the paper's Table 1 (run-time breakdown across SMEM, SAL,
+// CHAIN, BSW pre-processing, BSW, and SAM-FORM) and the stacked bars of
+// Figures 4-5.
+package counters
+
+import "time"
+
+// Stage identifies one pipeline stage of BWA-MEM (Table 1 rows).
+type Stage int
+
+const (
+	StageSMEM Stage = iota
+	StageSAL
+	StageChain
+	StageBSWPre
+	StageBSW
+	StageSAMForm
+	StageMisc
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"SMEM", "SAL", "CHAIN", "BSW-pre", "BSW", "SAM-FORM", "Misc",
+}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "?"
+	}
+	return stageNames[s]
+}
+
+// StageClock accumulates time per stage. Use one per worker goroutine and
+// Merge afterwards; individual clocks are not synchronized.
+type StageClock struct {
+	T [NumStages]time.Duration
+}
+
+// Add charges d to stage s. Nil clocks are permitted and ignored so callers
+// can instrument unconditionally.
+func (c *StageClock) Add(s Stage, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.T[s] += d
+}
+
+// Merge adds src's time into c.
+func (c *StageClock) Merge(src *StageClock) {
+	for i := range c.T {
+		c.T[i] += src.T[i]
+	}
+}
+
+// Total returns the summed stage time.
+func (c *StageClock) Total() time.Duration {
+	var t time.Duration
+	for _, d := range c.T {
+		t += d
+	}
+	return t
+}
+
+// Kernels returns the time in the three hot kernels (SMEM+SAL+BSW), the
+// quantity the paper reports as ">85% of total".
+func (c *StageClock) Kernels() time.Duration {
+	return c.T[StageSMEM] + c.T[StageSAL] + c.T[StageBSWPre] + c.T[StageBSW]
+}
+
+// Fraction returns stage s as a fraction of the total (0 when empty).
+func (c *StageClock) Fraction(s Stage) float64 {
+	tot := c.Total()
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.T[s]) / float64(tot)
+}

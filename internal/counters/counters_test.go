@@ -1,0 +1,65 @@
+package counters
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStageClockAccumulates(t *testing.T) {
+	var c StageClock
+	c.Add(StageSMEM, 10*time.Millisecond)
+	c.Add(StageSMEM, 5*time.Millisecond)
+	c.Add(StageBSW, 20*time.Millisecond)
+	c.Add(StageSAL, 5*time.Millisecond)
+	if c.T[StageSMEM] != 15*time.Millisecond {
+		t.Fatalf("SMEM = %v", c.T[StageSMEM])
+	}
+	if c.Total() != 40*time.Millisecond {
+		t.Fatalf("total = %v", c.Total())
+	}
+	if c.Kernels() != 40*time.Millisecond {
+		t.Fatalf("kernels = %v", c.Kernels())
+	}
+	if f := c.Fraction(StageBSW); f != 0.5 {
+		t.Fatalf("fraction = %v", f)
+	}
+}
+
+func TestStageClockNilSafe(t *testing.T) {
+	var c *StageClock
+	c.Add(StageSMEM, time.Second) // must not panic
+}
+
+func TestMerge(t *testing.T) {
+	var a, b StageClock
+	a.Add(StageChain, 3*time.Millisecond)
+	b.Add(StageChain, 4*time.Millisecond)
+	b.Add(StageMisc, 1*time.Millisecond)
+	a.Merge(&b)
+	if a.T[StageChain] != 7*time.Millisecond || a.T[StageMisc] != time.Millisecond {
+		t.Fatalf("merge: %+v", a)
+	}
+}
+
+func TestEmptyClockFractions(t *testing.T) {
+	var c StageClock
+	if c.Fraction(StageSMEM) != 0 {
+		t.Fatal("empty clock fraction should be 0")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		StageSMEM: "SMEM", StageSAL: "SAL", StageChain: "CHAIN",
+		StageBSWPre: "BSW-pre", StageBSW: "BSW", StageSAMForm: "SAM-FORM",
+		StageMisc: "Misc",
+	}
+	for s, n := range want {
+		if s.String() != n {
+			t.Errorf("%d: %q != %q", s, s.String(), n)
+		}
+	}
+	if Stage(99).String() != "?" {
+		t.Error("out-of-range stage name")
+	}
+}

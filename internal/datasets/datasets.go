@@ -1,0 +1,272 @@
+// Package datasets generates the synthetic workloads that stand in for the
+// paper's evaluation data (Table 3). The paper used the first half of human
+// genome Hg38 (~1.5 Gbp) and five read sets from the Broad Institute and
+// NCBI SRA; neither is available nor tractable at laptop scale, so this
+// package produces:
+//
+//   - deterministic synthetic genomes with a controllable repeat structure
+//     (repeats are what make SMEM seeding, re-seeding and chain filtering
+//     take their interesting paths), and
+//   - simulated read sets matching the D1-D5 profiles' read lengths and
+//     relative sizes, with an Illumina-like substitution-dominated error
+//     model.
+//
+// Every generator is seeded and reproducible.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// GenomeConfig controls synthetic genome generation.
+type GenomeConfig struct {
+	Name       string
+	Length     int
+	Seed       int64
+	RepeatProb float64 // probability per emitted segment of copying an earlier one
+	RepeatMin  int     // copied segment length bounds
+	RepeatMax  int
+	Divergence float64 // per-base mutation rate applied to repeat copies
+}
+
+// DefaultGenome returns a config with a mild repeat structure (about 15% of
+// the genome consists of diverged repeats, loosely mimicking the repeat
+// content that drives BWA-MEM's heuristics).
+func DefaultGenome(name string, length int, seed int64) GenomeConfig {
+	return GenomeConfig{
+		Name: name, Length: length, Seed: seed,
+		RepeatProb: 0.02, RepeatMin: 200, RepeatMax: 1000, Divergence: 0.02,
+	}
+}
+
+// Genome builds a synthetic reference.
+func Genome(cfg GenomeConfig) (*seq.Reference, error) {
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("datasets: genome length %d", cfg.Length)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bases := make([]byte, 0, cfg.Length)
+	for len(bases) < cfg.Length {
+		if len(bases) > 2*cfg.RepeatMax && rng.Float64() < cfg.RepeatProb {
+			// Copy an earlier segment with some divergence: a repeat.
+			segLen := cfg.RepeatMin + rng.Intn(cfg.RepeatMax-cfg.RepeatMin+1)
+			if segLen > cfg.Length-len(bases) {
+				segLen = cfg.Length - len(bases)
+			}
+			src := rng.Intn(len(bases) - segLen)
+			for i := 0; i < segLen; i++ {
+				b := bases[src+i]
+				if rng.Float64() < cfg.Divergence {
+					b = "ACGT"[rng.Intn(4)]
+				}
+				bases = append(bases, b)
+			}
+		} else {
+			run := 64
+			if run > cfg.Length-len(bases) {
+				run = cfg.Length - len(bases)
+			}
+			for i := 0; i < run; i++ {
+				bases = append(bases, "ACGT"[rng.Intn(4)])
+			}
+		}
+	}
+	return seq.NewReference([]string{cfg.Name}, [][]byte{bases})
+}
+
+// Profile describes one simulated read set (Table 3 analogue).
+type Profile struct {
+	Name      string
+	NumReads  int
+	ReadLen   int
+	SubRate   float64 // per-base substitution probability
+	IndelRate float64 // per-read probability of one short (1-3 bp) indel
+	Seed      int64
+}
+
+// The D1-D5 profiles match Table 3's read lengths; counts keep the paper's
+// 1 : 1 : 2.5 : 2.5 : 2.5 ratio at a laptop-friendly base size that callers
+// scale with Scaled.
+var (
+	D1 = Profile{Name: "D1", NumReads: 2000, ReadLen: 151, SubRate: 0.003, IndelRate: 0.10, Seed: 101}
+	D2 = Profile{Name: "D2", NumReads: 2000, ReadLen: 151, SubRate: 0.006, IndelRate: 0.12, Seed: 102}
+	D3 = Profile{Name: "D3", NumReads: 5000, ReadLen: 76, SubRate: 0.008, IndelRate: 0.08, Seed: 103}
+	D4 = Profile{Name: "D4", NumReads: 5000, ReadLen: 101, SubRate: 0.005, IndelRate: 0.10, Seed: 104}
+	D5 = Profile{Name: "D5", NumReads: 5000, ReadLen: 101, SubRate: 0.010, IndelRate: 0.15, Seed: 105}
+)
+
+// Profiles lists D1-D5 in order.
+func Profiles() []Profile { return []Profile{D1, D2, D3, D4, D5} }
+
+// Scaled returns a copy of p with the read count multiplied by f (minimum 1).
+func (p Profile) Scaled(f float64) Profile {
+	n := int(float64(p.NumReads) * f)
+	if n < 1 {
+		n = 1
+	}
+	p.NumReads = n
+	return p
+}
+
+// Simulate samples reads from the reference under the profile's error
+// model: uniform positions, random strand, per-base substitutions, and an
+// occasional short indel. Read names encode the truth for evaluation:
+// <profile>_<index>_<pos>_<strand>.
+func Simulate(ref *seq.Reference, p Profile) ([]seq.Read, error) {
+	if ref.Lpac() < p.ReadLen+10 {
+		return nil, fmt.Errorf("datasets: reference (%d bp) shorter than reads (%d bp)", ref.Lpac(), p.ReadLen)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	reads := make([]seq.Read, 0, p.NumReads)
+	for i := 0; i < p.NumReads; i++ {
+		pos := rng.Intn(ref.Lpac() - p.ReadLen - 5)
+		window := append([]byte(nil), ref.Pac[pos:pos+p.ReadLen+5]...)
+		// One short indel per read with probability IndelRate.
+		if rng.Float64() < p.IndelRate {
+			n := 1 + rng.Intn(3)
+			at := 5 + rng.Intn(len(window)-10-n)
+			if rng.Intn(2) == 0 { // deletion from the read
+				window = append(window[:at], window[at+n:]...)
+			} else { // insertion into the read
+				ins := make([]byte, n)
+				for k := range ins {
+					ins[k] = byte(rng.Intn(4))
+				}
+				window = append(window[:at], append(ins, window[at:]...)...)
+			}
+		}
+		codes := window[:p.ReadLen]
+		// Substitutions.
+		for k := range codes {
+			if rng.Float64() < p.SubRate {
+				codes[k] = byte(rng.Intn(4))
+			}
+		}
+		strand := byte('+')
+		if rng.Intn(2) == 1 {
+			seq.RevCompInPlace(codes)
+			strand = '-'
+		}
+		qual := make([]byte, p.ReadLen)
+		for k := range qual {
+			qual[k] = byte('A' + rng.Intn(8)) // Q32..Q39
+		}
+		reads = append(reads, seq.Read{
+			Name: fmt.Sprintf("%s_%d_%d_%c", p.Name, i, pos, strand),
+			Seq:  seq.Decode(codes),
+			Qual: qual,
+		})
+	}
+	return reads, nil
+}
+
+// PairProfile extends a read profile with fragment (insert) sizing for
+// paired-end simulation in standard Illumina FR orientation.
+type PairProfile struct {
+	Profile
+	InsertMean int
+	InsertStd  int
+}
+
+// DefaultPairs derives a paired profile with a 3x-read-length mean insert.
+func DefaultPairs(p Profile) PairProfile {
+	return PairProfile{Profile: p, InsertMean: 3 * p.ReadLen, InsertStd: p.ReadLen / 3}
+}
+
+// SimulatePairs samples read pairs: a fragment of normally distributed
+// length is placed uniformly (random strand); read 1 is the fragment's
+// first ReadLen bases, read 2 the reverse complement of its last ReadLen
+// bases. Both ends carry the same name (as SAM requires):
+// <profile>p_<index>_<fragpos>_<fraglen>. Errors follow the profile.
+func SimulatePairs(ref *seq.Reference, p PairProfile) (r1, r2 []seq.Read, err error) {
+	minInsert := p.ReadLen
+	if ref.Lpac() < p.InsertMean+6*p.InsertStd+10 {
+		return nil, nil, fmt.Errorf("datasets: reference (%d bp) too short for inserts ~%d bp",
+			ref.Lpac(), p.InsertMean)
+	}
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5a5a))
+	applyErrors := func(codes []byte) {
+		for k := range codes {
+			if rng.Float64() < p.SubRate {
+				codes[k] = byte(rng.Intn(4))
+			}
+		}
+	}
+	for i := 0; i < p.NumReads; i++ {
+		flen := p.InsertMean + int(rng.NormFloat64()*float64(p.InsertStd))
+		if flen < minInsert {
+			flen = minInsert
+		}
+		if flen > ref.Lpac()-2 {
+			flen = ref.Lpac() - 2
+		}
+		pos := rng.Intn(ref.Lpac() - flen)
+		frag := append([]byte(nil), ref.Pac[pos:pos+flen]...)
+		if rng.Intn(2) == 1 {
+			seq.RevCompInPlace(frag)
+		}
+		e1 := append([]byte(nil), frag[:p.ReadLen]...)
+		e2 := seq.RevComp(frag[flen-p.ReadLen:])
+		applyErrors(e1)
+		applyErrors(e2)
+		name := fmt.Sprintf("%sp_%d_%d_%d", p.Name, i, pos, flen)
+		qual := make([]byte, p.ReadLen)
+		for k := range qual {
+			qual[k] = byte('A' + rng.Intn(8))
+		}
+		r1 = append(r1, seq.Read{Name: name, Seq: seq.Decode(e1), Qual: qual})
+		r2 = append(r2, seq.Read{Name: name, Seq: seq.Decode(e2), Qual: append([]byte(nil), qual...)})
+	}
+	return r1, r2, nil
+}
+
+// TruePair parses the fragment position and length from a paired read name.
+func TruePair(name string) (pos, flen int, ok bool) {
+	last, prev := -1, -1
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '_' {
+			if last < 0 {
+				last = i
+			} else {
+				prev = i
+				break
+			}
+		}
+	}
+	if last < 0 || prev < 0 {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(name[prev+1:last], "%d", &pos); err != nil {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(name[last+1:], "%d", &flen); err != nil {
+		return 0, 0, false
+	}
+	return pos, flen, true
+}
+
+// TruePos parses the position and strand encoded in a simulated read name
+// (fields separated by '_'; the last two are position and strand).
+func TruePos(name string) (pos int, rev bool, ok bool) {
+	last, prev := -1, -1
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '_' {
+			if last < 0 {
+				last = i
+			} else {
+				prev = i
+				break
+			}
+		}
+	}
+	if last < 0 || prev < 0 || last != len(name)-2 {
+		return 0, false, false
+	}
+	if _, err := fmt.Sscanf(name[prev+1:last], "%d", &pos); err != nil {
+		return 0, false, false
+	}
+	return pos, name[len(name)-1] == '-', true
+}

@@ -1,0 +1,192 @@
+package datasets
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestGenomeDeterministicAndSized(t *testing.T) {
+	cfg := DefaultGenome("g", 100000, 7)
+	r1, err := Genome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Genome(cfg)
+	if r1.Lpac() != 100000 {
+		t.Fatalf("length %d", r1.Lpac())
+	}
+	if !bytes.Equal(r1.Pac, r2.Pac) {
+		t.Fatal("genome generation not deterministic")
+	}
+	cfg.Seed = 8
+	r3, _ := Genome(cfg)
+	if bytes.Equal(r1.Pac, r3.Pac) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenomeHasRepeats(t *testing.T) {
+	cfg := DefaultGenome("g", 200000, 9)
+	ref, _ := Genome(cfg)
+	// Count 32-mers that occur more than once; with repeats there must be a
+	// meaningful number, far more than random chance (4^32 >> genome size).
+	seen := map[string]int{}
+	for i := 0; i+32 <= ref.Lpac(); i += 8 {
+		seen[string(ref.Pac[i:i+32])]++
+	}
+	dup := 0
+	for _, c := range seen {
+		if c > 1 {
+			dup++
+		}
+	}
+	if dup < 50 {
+		t.Fatalf("only %d duplicated 32-mers; repeat structure missing", dup)
+	}
+	// And a no-repeat genome should have almost none.
+	cfg.RepeatProb = 0
+	ref2, _ := Genome(cfg)
+	seen = map[string]int{}
+	for i := 0; i+32 <= ref2.Lpac(); i += 8 {
+		seen[string(ref2.Pac[i:i+32])]++
+	}
+	dup2 := 0
+	for _, c := range seen {
+		if c > 1 {
+			dup2++
+		}
+	}
+	if dup2 > dup/10 {
+		t.Fatalf("repeat-free genome has %d duplicated 32-mers vs %d", dup2, dup)
+	}
+}
+
+func TestGenomeRejectsBadLength(t *testing.T) {
+	if _, err := Genome(GenomeConfig{Name: "g", Length: 0}); err == nil {
+		t.Fatal("zero length should error")
+	}
+}
+
+func TestSimulateProfiles(t *testing.T) {
+	ref, _ := Genome(DefaultGenome("g", 50000, 11))
+	for _, p := range Profiles() {
+		p = p.Scaled(0.05)
+		reads, err := Simulate(ref, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reads) != p.NumReads {
+			t.Fatalf("%s: %d reads, want %d", p.Name, len(reads), p.NumReads)
+		}
+		for _, rd := range reads {
+			if len(rd.Seq) != p.ReadLen || len(rd.Qual) != p.ReadLen {
+				t.Fatalf("%s: read %s has len %d", p.Name, rd.Name, len(rd.Seq))
+			}
+			pos, _, ok := TruePos(rd.Name)
+			if !ok || pos < 0 || pos >= ref.Lpac() {
+				t.Fatalf("%s: bad truth encoding %q", p.Name, rd.Name)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	ref, _ := Genome(DefaultGenome("g", 50000, 12))
+	r1, _ := Simulate(ref, D1.Scaled(0.02))
+	r2, _ := Simulate(ref, D1.Scaled(0.02))
+	for i := range r1 {
+		if !bytes.Equal(r1[i].Seq, r2[i].Seq) || r1[i].Name != r2[i].Name {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}
+
+func TestSimulateErrorsPresent(t *testing.T) {
+	ref, _ := Genome(DefaultGenome("g", 80000, 13))
+	p := D5.Scaled(0.1) // highest error rate profile
+	reads, _ := Simulate(ref, p)
+	mismatched := 0
+	for _, rd := range reads {
+		pos, rev, _ := TruePos(rd.Name)
+		codes := seq.Encode(rd.Seq)
+		if rev {
+			seq.RevCompInPlace(codes)
+		}
+		orig := ref.Pac[pos : pos+p.ReadLen]
+		if !bytes.Equal(codes, orig) {
+			mismatched++
+		}
+	}
+	if mismatched < len(reads)/3 {
+		t.Fatalf("error model too weak: only %d/%d reads differ", mismatched, len(reads))
+	}
+}
+
+func TestSimulateTooShortReference(t *testing.T) {
+	ref, _ := Genome(DefaultGenome("g", 100, 14))
+	if _, err := Simulate(ref, D1); err == nil {
+		t.Fatal("short reference should error")
+	}
+}
+
+func TestSimulatePairs(t *testing.T) {
+	ref, _ := Genome(DefaultGenome("g", 80000, 15))
+	pp := DefaultPairs(D4.Scaled(0.05))
+	r1, r2, err := SimulatePairs(ref, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) || len(r1) != pp.NumReads {
+		t.Fatalf("pair counts: %d %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Name != r2[i].Name {
+			t.Fatal("pair names must match")
+		}
+		if len(r1[i].Seq) != pp.ReadLen || len(r2[i].Seq) != pp.ReadLen {
+			t.Fatal("read lengths")
+		}
+		pos, flen, ok := TruePair(r1[i].Name)
+		if !ok || pos < 0 || flen < pp.ReadLen || pos+flen > ref.Lpac() {
+			t.Fatalf("bad truth %q -> %d %d", r1[i].Name, pos, flen)
+		}
+	}
+	// The two ends of an error-free pair bracket the fragment: end 2 is the
+	// reverse complement of the fragment tail (verify on a clean profile).
+	clean := pp
+	clean.SubRate, clean.IndelRate = 0, 0
+	c1, c2, _ := SimulatePairs(ref, clean)
+	for i := range c1 {
+		pos, flen, _ := TruePair(c1[i].Name)
+		frag := ref.Pac[pos : pos+flen]
+		e1 := seq.Encode(c1[i].Seq)
+		e2 := seq.RevComp(seq.Encode(c2[i].Seq))
+		fwd := bytes.Equal(e1, frag[:clean.ReadLen]) && bytes.Equal(e2, frag[flen-clean.ReadLen:])
+		revFrag := seq.RevComp(frag)
+		rev := bytes.Equal(e1, revFrag[:clean.ReadLen]) && bytes.Equal(e2, revFrag[flen-clean.ReadLen:])
+		if !fwd && !rev {
+			t.Fatalf("pair %d does not bracket its fragment", i)
+		}
+	}
+}
+
+func TestSimulatePairsTooShort(t *testing.T) {
+	ref, _ := Genome(DefaultGenome("g", 500, 16))
+	if _, _, err := SimulatePairs(ref, DefaultPairs(D1)); err == nil {
+		t.Fatal("short reference should error")
+	}
+}
+
+func TestTruePosParsing(t *testing.T) {
+	if pos, rev, ok := TruePos("D1_42_1234_-"); !ok || pos != 1234 || !rev {
+		t.Fatalf("parse: %d %v %v", pos, rev, ok)
+	}
+	if pos, rev, ok := TruePos("D3_0_77_+"); !ok || pos != 77 || rev {
+		t.Fatalf("parse: %d %v %v", pos, rev, ok)
+	}
+	if _, _, ok := TruePos("garbage"); ok {
+		t.Fatal("garbage name should not parse")
+	}
+}

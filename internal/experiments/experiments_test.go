@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+// tinyEnv builds a small but non-trivial environment: the genome still
+// exceeds the scaled LLC so the memory-counter tables behave qualitatively
+// like the full runs.
+func tinyEnv(t testing.TB) *Env {
+	t.Helper()
+	cfg := Config{
+		GenomeLen:  400_000,
+		Scale:      0.02,
+		MaxThreads: 2,
+		MemConfig:  memsim.Scaled(),
+	}
+	e, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	e := tinyEnv(t)
+	for _, exp := range []struct {
+		name string
+		fn   func(*bytes.Buffer) error
+	}{
+		{"table1", func(b *bytes.Buffer) error { return Table1(b, e) }},
+		{"table4", func(b *bytes.Buffer) error { return Table4(b, e) }},
+		{"table5", func(b *bytes.Buffer) error { return Table5(b, e) }},
+		{"table6", func(b *bytes.Buffer) error { return Table6(b, e) }},
+		{"table7", func(b *bytes.Buffer) error { return Table7(b, e) }},
+		{"table8", func(b *bytes.Buffer) error { return Table8(b, e) }},
+		{"figure4", func(b *bytes.Buffer) error { return Figure4(b, e) }},
+		{"figure5", func(b *bytes.Buffer) error { return Figure5(b, e) }},
+		{"ablation-sa", func(b *bytes.Buffer) error { return AblationSACompression(b, e) }},
+		{"ablation-width", func(b *bytes.Buffer) error { return AblationBSWWidth(b, e) }},
+		{"ablation-batch", func(b *bytes.Buffer) error { return AblationBatchSize(b, e) }},
+		{"ablation-sort", func(b *bytes.Buffer) error { return AblationBSWSort(b, e) }},
+	} {
+		var buf bytes.Buffer
+		if err := exp.fn(&buf); err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		if buf.Len() < 100 {
+			t.Fatalf("%s: suspiciously short output:\n%s", exp.name, buf.String())
+		}
+		t.Logf("%s:\n%s", exp.name, buf.String())
+	}
+}
+
+// extract pulls the first number following a label from experiment output.
+func extract(t *testing.T, out, label string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(regexp.QuoteMeta(label) + `\s+([-\d.]+)`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("label %q not found in output:\n%s", label, out)
+	}
+	v, err := strconv.ParseFloat(strings.TrimRight(m[1], "."), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", m[1], err)
+	}
+	return v
+}
+
+// TestTable5ShapeHolds asserts the headline SAL result survives the scaled
+// run: the flat lookup does orders of magnitude less work per lookup.
+func TestTable5ShapeHolds(t *testing.T) {
+	e := tinyEnv(t)
+	var buf bytes.Buffer
+	if err := Table5(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	parts := strings.Split(out, "optimized (flat suffix array)")
+	if len(parts) != 2 {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	instrOrig := extract(t, parts[0], "modeled instr / SA offset")
+	instrOpt := extract(t, parts[1], "modeled instr / SA offset")
+	if instrOrig < 50*instrOpt {
+		t.Fatalf("SAL instruction gap collapsed: %.1f vs %.1f", instrOrig, instrOpt)
+	}
+}
+
+// TestTable4ShapeHolds asserts the SMEM memory-behaviour shape: the
+// optimized table without prefetch misses more than the original; prefetch
+// brings misses well below both.
+func TestTable4ShapeHolds(t *testing.T) {
+	e := tinyEnv(t)
+	var buf bytes.Buffer
+	if err := Table4(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	secs := strings.Split(out, "config ")
+	if len(secs) != 4 {
+		t.Fatalf("unexpected sections:\n%s", out)
+	}
+	missOrig := extract(t, secs[1], "LLC misses (simulated)")
+	missNoPf := extract(t, secs[2], "LLC misses (simulated)")
+	missPf := extract(t, secs[3], "LLC misses (simulated)")
+	if !(missPf < missNoPf) {
+		t.Fatalf("prefetch did not cut misses: %v -> %v", missNoPf, missPf)
+	}
+	if !(missNoPf > missOrig) {
+		t.Fatalf("eta=32 without prefetch should miss more than eta=128: %v vs %v", missNoPf, missOrig)
+	}
+	instrOrig := extract(t, secs[1], "modeled instructions")
+	instrOpt := extract(t, secs[2], "modeled instructions")
+	if instrOpt >= instrOrig/1.5 {
+		t.Fatalf("optimized kernel should model substantially fewer instructions: %v vs %v", instrOrig, instrOpt)
+	}
+}
+
+// TestTable6SortBenefit asserts the sorting gain is visible in lane-slot
+// accounting at tiny scale.
+func TestTable6SortBenefit(t *testing.T) {
+	e := tinyEnv(t)
+	var buf bytes.Buffer
+	if err := AblationBSWSort(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	secs := strings.SplitAfter(out, "unsorted")
+	if len(secs) != 2 {
+		t.Fatalf("output:\n%s", out)
+	}
+	wasteUnsorted := extract(t, out[strings.Index(out, "unsorted"):], "waste")
+	wasteSorted := extract(t, out[strings.Index(out, " sorted"):], "waste")
+	if wasteSorted >= wasteUnsorted {
+		t.Fatalf("sorting should reduce waste: %.1f%% -> %.1f%%", wasteUnsorted, wasteSorted)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/datasets"
+	"repro/internal/pipeline"
+	"repro/internal/seq"
+)
+
+// runOnce executes the pipeline of one aligner with the layout matching its
+// mode.
+func runOnce(a *core.Aligner, reads []seq.Read, threads int) *pipeline.Result {
+	return pipeline.Run(a, reads, pipeline.Config{Threads: threads})
+}
+
+// Figure4 regenerates the multicore scaling comparison: per-kernel and
+// whole-application throughput of both implementations as the thread count
+// grows, on the D1 and D5 profiles. The paper sweeps 1..28 cores of a
+// Skylake socket; this sweep covers 1..MaxThreads of the host.
+func Figure4(w io.Writer, e *Env) error {
+	header(w, "Figure 4: thread scaling (both implementations, D1 & D5)")
+	for _, p := range []datasets.Profile{datasets.D1, datasets.D5} {
+		reads, err := e.reads(p)
+		if err != nil {
+			return err
+		}
+		for _, pair := range []struct {
+			name string
+			aln  *core.Aligner
+		}{{"orig", e.Base}, {"opt", e.Opt}} {
+			base := runOnce(pair.aln, reads, 1)
+			fmt.Fprintf(w, " %s %-5s threads=1: total %8.1f ms  SMEM %7.1f  SAL %6.1f  BSW %8.1f\n",
+				p.Name, pair.name, ms(base.Wall),
+				ms(base.Clock.T[counters.StageSMEM]),
+				ms(base.Clock.T[counters.StageSAL]),
+				ms(base.Clock.T[counters.StageBSWPre]+base.Clock.T[counters.StageBSW]))
+			for t := 2; t <= e.Cfg.MaxThreads; t++ {
+				res := runOnce(pair.aln, reads, t)
+				fmt.Fprintf(w, " %s %-5s threads=%d: total %8.1f ms  speedup x%.2f (ideal x%d)\n",
+					p.Name, pair.name, t, ms(res.Wall),
+					ratio(float64(base.Wall), float64(res.Wall)), t)
+			}
+		}
+	}
+	fmt.Fprintln(w, " paper shape: kernels scale near-linearly; the whole application")
+	fmt.Fprintln(w, " trails ideal because the unoptimized Misc stages saturate first.")
+	return nil
+}
+
+// Figure5 regenerates the end-to-end comparison across all five dataset
+// profiles, single-threaded and with all threads: per-stage stacked times
+// and the optimized-over-baseline speedup.
+// Paper (SKX): single-thread speedups 2.6-3.5x; single-socket 1.7-2.4x.
+func Figure5(w io.Writer, e *Env) error {
+	header(w, "Figure 5: end-to-end compute time, baseline vs optimized")
+	for _, threads := range []int{1, e.Cfg.MaxThreads} {
+		fmt.Fprintf(w, " --- threads = %d ---\n", threads)
+		for _, p := range datasets.Profiles() {
+			reads, err := e.reads(p)
+			if err != nil {
+				return err
+			}
+			rb := runOnce(e.Base, reads, threads)
+			ro := runOnce(e.Opt, reads, threads)
+			rl := runOnce(e.OptLane, reads, threads)
+			if string(rb.SAM) != string(ro.SAM) || string(rb.SAM) != string(rl.SAM) {
+				return fmt.Errorf("figure5: %s output differs between modes", p.Name)
+			}
+			stack := func(r *pipeline.Result) string {
+				return fmt.Sprintf("SMEM %7.1f  SAL %6.1f  BSW %8.1f  misc %7.1f",
+					ms(r.Clock.T[counters.StageSMEM]),
+					ms(r.Clock.T[counters.StageSAL]),
+					ms(r.Clock.T[counters.StageBSWPre]+r.Clock.T[counters.StageBSW]),
+					ms(r.Clock.T[counters.StageChain]+r.Clock.T[counters.StageSAMForm]+r.Clock.T[counters.StageMisc]))
+			}
+			fmt.Fprintf(w, " %s (%5d x %3dbp) orig    : total %8.1f ms  %s\n",
+				p.Name, len(reads), p.ReadLen, ms(rb.Wall), stack(rb))
+			fmt.Fprintf(w, " %s               opt     : total %8.1f ms  %s  speedup x%.2f\n",
+				p.Name, ms(ro.Wall), stack(ro),
+				ratio(float64(rb.Wall), float64(ro.Wall)))
+			fmt.Fprintf(w, " %s               opt-lane: total %8.1f ms  (paper's lane kernel, serial lanes)  speedup x%.2f\n",
+				p.Name, ms(rl.Wall), ratio(float64(rb.Wall), float64(rl.Wall)))
+		}
+	}
+	fmt.Fprintln(w, " stage times are summed across workers; wall is elapsed time.")
+	fmt.Fprintln(w, " paper shape: SAL all but vanishes; SMEM stays comparable; all three")
+	fmt.Fprintln(w, " variants emit identical SAM. 'opt' is the production configuration on")
+	fmt.Fprintln(w, " a SIMD-less target; 'opt-lane' runs the paper's inter-task kernel,")
+	fmt.Fprintln(w, " whose vector payoff needs real SIMD (see Table 6 modeled-SIMD times).")
+	return nil
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/datasets"
+	"repro/internal/fmindex"
+	"repro/internal/memsim"
+	"repro/internal/pipeline"
+	"repro/internal/sal"
+	"repro/internal/trace"
+)
+
+// Table1 regenerates the paper's Table 1: single-thread run-time breakdown
+// of the baseline (original BWA-MEM) workflow on the D1 and D4 profiles.
+// Paper: SMEM+SAL+BSW account for 86.5% (D1) and 85.7% (D4).
+func Table1(w io.Writer, e *Env) error {
+	header(w, "Table 1: single-thread run-time profile of the baseline workflow")
+	paper := map[string][]float64{ // paper percentages per stage
+		"D1": {21.5, 18.0, 6.0, 4.7, 47.2, 2.5},
+		"D4": {44.4, 15.5, 5.9, 4.9, 26.4, 2.9},
+	}
+	stages := []counters.Stage{counters.StageSMEM, counters.StageSAL,
+		counters.StageChain, counters.StageBSWPre, counters.StageBSW, counters.StageSAMForm}
+	for _, p := range []datasets.Profile{datasets.D1, datasets.D4} {
+		reads, err := e.reads(p)
+		if err != nil {
+			return err
+		}
+		res := pipeline.Run(e.Base, reads, pipeline.Config{Threads: 1, Layout: pipeline.LayoutPerRead})
+		fmt.Fprintf(w, " dataset %s (%d reads x %dbp), total %.1f ms\n",
+			p.Name, len(reads), p.ReadLen, ms(res.Clock.Total()))
+		for i, s := range stages {
+			row(w, s.String(), "measured %5.1f%%   paper %5.1f%%",
+				100*res.Clock.Fraction(s), paper[p.Name][i])
+		}
+		row(w, "Misc", "measured %5.1f%%", 100*res.Clock.Fraction(counters.StageMisc))
+		kern := 100 * float64(res.Clock.Kernels()+res.Clock.T[counters.StageSAL]) / float64(res.Clock.Total())
+		_ = kern
+		row(w, "SMEM+SAL+BSW share", "measured %5.1f%%   paper ~86%%",
+			100*float64(res.Clock.Kernels())/float64(res.Clock.Total()))
+	}
+	return nil
+}
+
+// smemConfig is one column of Table 4.
+type smemConfig struct {
+	name     string
+	aln      *core.Aligner
+	prefetch bool
+}
+
+// Table4 regenerates the SMEM kernel counter comparison: original (η=128)
+// vs optimized without software prefetching vs optimized with it.
+// Paper: instructions 17,117 -> 7,880 -> 8,160 M; LLC misses 23.9 -> 29.7
+// -> 9.5 M; latency 24 -> 33 -> 18 cycles; time 4.20 -> 2.79 -> 2.10 s.
+func Table4(w io.Writer, e *Env) error {
+	header(w, "Table 4: SMEM kernel (D2-profile reads)")
+	reads, err := e.reads(datasets.D2)
+	if err != nil {
+		return err
+	}
+	codes := encodeAll(reads)
+	cfgs := []smemConfig{
+		{"config A: original (eta=128, 2-bit)", e.Base, false},
+		{"config B: eta=32 minus s/w prefetch", e.Opt, false},
+		{"config C: eta=32 with s/w prefetch", e.Opt, true},
+	}
+	seedOpts := e.Base.Opts.Seed
+	for _, c := range cfgs {
+		tr := &trace.Tracer{Mem: memsim.New(e.Cfg.MemConfig), EnablePrefetch: c.prefetch}
+		c.aln.Idx.SetTracer(tr)
+		var buf fmindex.SMEMBuf
+		var scratch []fmindex.BiInterval
+		for _, q := range codes {
+			scratch = c.aln.Idx.CollectIntervals(q, seedOpts, &buf, scratch)
+		}
+		c.aln.Idx.SetTracer(nil)
+		// Untraced wall time.
+		start := time.Now()
+		for _, q := range codes {
+			scratch = c.aln.Idx.CollectIntervals(q, seedOpts, &buf, scratch)
+		}
+		wall := time.Since(start)
+
+		st := &tr.Mem.Stats
+		// Modeled instruction count, mapping each layout to its natural ISA
+		// realization (the paper's point in §4.4): the 2-bit bucket needs
+		// scalar SWAR extraction, ~9 ops per word per base class (36/word
+		// for all four); the byte-per-base bucket vectorizes to one
+		// compare+movemask+popcount triple per class over the whole bucket
+		// (~20 ops/visit), which pure Go cannot express but AVX2 executes.
+		// Raw counters are printed alongside so the model is auditable.
+		var instr int64
+		if c.aln == e.Base {
+			instr = 24*tr.OccCalls + 36*tr.OccWords + 32*tr.Extends
+		} else {
+			instr = 20*tr.OccCalls + 4*tr.OccWords + 32*tr.Extends + tr.Prefetches
+		}
+		fmt.Fprintf(w, " %s\n", c.name)
+		row(w, "occ bucket visits", "%d", tr.OccCalls)
+		row(w, "bucket words scanned", "%d", tr.OccWords)
+		row(w, "BWT symbols covered", "%d", tr.OccBases)
+		row(w, "extension ops", "%d", tr.Extends)
+		row(w, "prefetch hints", "%d", tr.Prefetches)
+		row(w, "modeled instructions", "%d", instr)
+		row(w, "loads (simulated)", "%d", st.Loads)
+		row(w, "LLC misses (simulated)", "%d", st.LLCMisses())
+		row(w, "avg access latency (cycles)", "%.1f", st.AvgLatency())
+		row(w, "wall time", "%.1f ms", ms(wall))
+	}
+	fmt.Fprintln(w, " paper shape: the eta=32 kernel halves instructions; dropping prefetch")
+	fmt.Fprintln(w, " raises LLC misses above the original; prefetch cuts them ~3x.")
+	return nil
+}
+
+// Table5 regenerates the SAL kernel comparison: compressed suffix array
+// (factor 128) vs the flat suffix array.
+// Paper: 5,190.7 -> 25.8 instructions per lookup (~200x), LLC misses 452.3
+// -> 5.0 M, time 64.47 s -> 0.35 s (183x).
+func Table5(w io.Writer, e *Env) error {
+	header(w, "Table 5: SAL kernel (rows from D2-profile seeding)")
+	reads, err := e.reads(datasets.D2)
+	if err != nil {
+		return err
+	}
+	codes := encodeAll(reads)
+	// Intercept the SAL input: the SA rows the seeding stage samples.
+	var rows []int
+	var buf fmindex.SMEMBuf
+	var ivs []fmindex.BiInterval
+	maxOcc := e.Opt.Opts.MaxOcc
+	for _, q := range codes {
+		ivs = e.Opt.Idx.CollectIntervals(q, e.Opt.Opts.Seed, &buf, ivs)
+		for _, p := range ivs {
+			step := 1
+			if p.S > maxOcc {
+				step = p.S / maxOcc
+			}
+			for k, cnt := 0, 0; k < p.S && cnt < maxOcc; k, cnt = k+step, cnt+1 {
+				rows = append(rows, p.K+k)
+			}
+		}
+	}
+	fmt.Fprintf(w, " %d SA offsets\n", len(rows))
+
+	run := func(name string, lk sal.Lookuper, setTracer func(*trace.Tracer)) {
+		tr := &trace.Tracer{Mem: memsim.New(e.Cfg.MemConfig)}
+		setTracer(tr)
+		for _, r := range rows {
+			lk.Lookup(r)
+		}
+		setTracer(nil)
+		start := time.Now()
+		for _, r := range rows {
+			lk.Lookup(r)
+		}
+		wall := time.Since(start)
+		st := &tr.Mem.Stats
+		// Each LF step costs an occurrence computation (~40 ops); a lookup
+		// itself is ~25 ops of addressing and bookkeeping.
+		instr := 40*tr.LFSteps + 25*tr.SALookups
+		fmt.Fprintf(w, " %s (memory footprint %d KB)\n", name, lk.MemFootprint()/1024)
+		row(w, "LF-mapping steps", "%d", tr.LFSteps)
+		row(w, "modeled instructions", "%d", instr)
+		row(w, "modeled instr / SA offset", "%.1f", ratio(float64(instr), float64(len(rows))))
+		row(w, "loads (simulated)", "%d", st.Loads)
+		row(w, "LLC misses (simulated)", "%d", st.LLCMisses())
+		row(w, "avg access latency (cycles)", "%.1f", st.AvgLatency())
+		row(w, "wall time", "%.2f ms", ms(wall))
+	}
+
+	comp, err := sal.NewCompressed(fullSAOf(e), sal.DefaultCompression, e.Base.Idx)
+	if err != nil {
+		return err
+	}
+	run("original (compressed, factor 128)", comp, func(tr *trace.Tracer) {
+		comp.SetTracer(tr)
+		e.Base.Idx.SetTracer(tr)
+	})
+	flat := sal.NewFlat(fullSAOf(e))
+	run("optimized (flat suffix array)", flat, func(tr *trace.Tracer) {
+		flat.SetTracer(tr)
+	})
+	fmt.Fprintln(w, " paper shape: ~200x fewer instructions per lookup, ~100x fewer LLC")
+	fmt.Fprintln(w, " misses, two orders of magnitude faster despite a 128x larger table.")
+	return nil
+}
+
+// fullSAOf rebuilds the full suffix array of the environment's doubled
+// reference (cached after the first call).
+var cachedSA struct {
+	ref  *Env
+	full []int32
+}
+
+func fullSAOf(e *Env) []int32 {
+	if cachedSA.ref == e {
+		return cachedSA.full
+	}
+	_, full, err := fmindex.Build(e.Ref.Doubled(), fmindex.Baseline)
+	if err != nil {
+		panic(err)
+	}
+	cachedSA.ref = e
+	cachedSA.full = full
+	return full
+}

@@ -1,0 +1,256 @@
+// Package fmindex implements the FM-index over the doubled reference
+// (forward strand + reverse complement) and the bidirectional backward/
+// forward extension and SMEM search algorithms of BWA-MEM (paper §2.2-§2.3,
+// §4, Algorithms 1-4).
+//
+// The package provides both occurrence-table designs the paper compares —
+// the Baseline flavor is original BWA-MEM's η=128 2-bit layout, the
+// Optimized flavor is the paper's η=32 byte-per-base layout with modeled
+// software prefetching — behind one Index type, so every algorithm above
+// this layer is shared and output is identical by construction.
+package fmindex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bwt"
+	"repro/internal/trace"
+)
+
+// Flavor selects the occurrence-table design.
+type Flavor int
+
+const (
+	// Baseline is original BWA-MEM: η=128, 2-bit packed BWT, no software
+	// prefetching.
+	Baseline Flavor = iota
+	// Optimized is the paper's design: η=32, byte-per-base BWT in one cache
+	// line per bucket, with software prefetching of future buckets.
+	Optimized
+)
+
+func (f Flavor) String() string {
+	if f == Optimized {
+		return "optimized"
+	}
+	return "baseline"
+}
+
+// BiInterval is a bi-directional SA interval (k, l, s) as in §4.2: K is the
+// first row of the match's interval, L the first row of the interval of the
+// reverse complement of the match, and S the interval size. QBeg/QEnd give
+// the query span of the match once known.
+type BiInterval struct {
+	K, L, S    int
+	QBeg, QEnd int32
+}
+
+// Len returns the query-span length of the interval.
+func (b BiInterval) Len() int { return int(b.QEnd - b.QBeg) }
+
+func (b BiInterval) String() string {
+	return fmt.Sprintf("[k=%d l=%d s=%d q=%d:%d]", b.K, b.L, b.S, b.QBeg, b.QEnd)
+}
+
+// Index is the FM-index: the BWT plus one occurrence table.
+type Index struct {
+	B      *bwt.BWT
+	flavor Flavor
+	occ128 *Occ128
+	occ32  *Occ32
+	tr     *trace.Tracer
+}
+
+// Build constructs the index of text (codes 0..3) in the given flavor. It
+// also returns the full-matrix suffix array for suffix-array-lookup
+// construction.
+func Build(text []byte, flavor Flavor) (*Index, []int32, error) {
+	b, full, err := bwt.FromText(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return New(b, flavor), full, nil
+}
+
+// New wraps an existing BWT in an index of the given flavor.
+func New(b *bwt.BWT, flavor Flavor) *Index {
+	x := &Index{B: b, flavor: flavor}
+	if flavor == Optimized {
+		x.occ32 = NewOcc32(b.B0)
+	} else {
+		x.occ128 = NewOcc128(b.B0)
+	}
+	return x
+}
+
+// Flavor reports which occurrence-table design the index uses.
+func (x *Index) Flavor() Flavor { return x.flavor }
+
+// SetTracer installs (or removes, with nil) an instrumentation tracer. The
+// index must not be shared between goroutines while traced.
+func (x *Index) SetTracer(tr *trace.Tracer) { x.tr = tr }
+
+// MemFootprint returns the occurrence-table size in bytes.
+func (x *Index) MemFootprint() int {
+	if x.occ32 != nil {
+		return x.occ32.MemFootprint()
+	}
+	return x.occ128.MemFootprint()
+}
+
+// entryIndex returns the occurrence-table bucket for a stored-BWT position.
+func (x *Index) entryIndex(k int) int {
+	if x.occ32 != nil {
+		return x.occ32.EntryIndex(k)
+	}
+	return x.occ128.EntryIndex(k)
+}
+
+// traceOcc records one bucket visit covering stored position k.
+func (x *Index) traceOcc(k int) {
+	tr := x.tr
+	tr.OccCalls++
+	var words, bpw int
+	if x.occ32 != nil {
+		words, bpw = x.occ32.wordsFor(k), x.occ32.basesPerWord()
+	} else {
+		words, bpw = x.occ128.wordsFor(k), x.occ128.basesPerWord()
+	}
+	tr.OccWords += int64(words)
+	tr.OccBases += int64(words * bpw)
+	tr.Load(trace.OccBase+uint64(x.entryIndex(k))*occEntryBytes, occEntryBytes)
+}
+
+// occ4 returns occurrences of each base in the full transform column
+// B'[0..row]; row must be in [-1, N].
+func (x *Index) occ4(row int) [4]int {
+	k := x.B.RankShift(row)
+	if k < 0 {
+		return [4]int{}
+	}
+	if x.tr != nil {
+		x.traceOcc(k)
+	}
+	if x.occ32 != nil {
+		return x.occ32.Count4(k)
+	}
+	return x.occ128.Count4(k)
+}
+
+// occ4Pair computes occ4 at two rows at once (BWA's bwt_2occ4): when both
+// rows fall into the same occurrence bucket — increasingly likely as
+// matches lengthen and intervals shrink (§4.2) — the bucket is visited
+// once, halving the memory traffic of an extension.
+func (x *Index) occ4Pair(rowK, rowL int) (ck, cl [4]int) {
+	k := x.B.RankShift(rowK)
+	l := x.B.RankShift(rowL)
+	if k < 0 || l < 0 || x.entryIndex(k) != x.entryIndex(l) {
+		return x.occ4(rowK), x.occ4(rowL)
+	}
+	if x.tr != nil {
+		x.traceOcc(l) // one bucket visit covers both rank bounds
+	}
+	if x.occ32 != nil {
+		return x.occ32.Count4(k), x.occ32.Count4(l)
+	}
+	return x.occ128.Count4(k), x.occ128.Count4(l)
+}
+
+// Occ returns occurrences of base c in B'[0..row]; row must be in [-1, N].
+func (x *Index) Occ(c byte, row int) int {
+	k := x.B.RankShift(row)
+	if k < 0 {
+		return 0
+	}
+	if x.tr != nil {
+		x.traceOcc(k)
+	}
+	if x.occ32 != nil {
+		return x.occ32.Count(c, k)
+	}
+	return x.occ128.Count(c, k)
+}
+
+// SetIntv returns the bi-interval of the single base c (BWA's bwt_set_intv).
+func (x *Index) SetIntv(c byte) BiInterval {
+	return BiInterval{K: x.B.C[c], L: x.B.C[3-c], S: x.B.Counts[c]}
+}
+
+// Extend computes the bi-intervals of ik extended by every base at once
+// (BWA's bwt_extend, the paper's Algorithms 2-3). With isBack true the
+// result for prepending base b is ok[b]; with isBack false the result for
+// appending base b is ok[3-b] (the complement trick of Algorithm 3).
+func (x *Index) Extend(ik BiInterval, isBack bool) (ok [4]BiInterval) {
+	if x.tr != nil {
+		x.tr.Extends++
+	}
+	a, b := ik.K, ik.L
+	if !isBack {
+		a, b = b, a
+	}
+	tk, tl := x.occ4Pair(a-1, a+ik.S-1)
+	for c := 0; c < 4; c++ {
+		na := x.B.C[c] + tk[c]
+		if isBack {
+			ok[c].K = na
+		} else {
+			ok[c].L = na
+		}
+		ok[c].S = tl[c] - tk[c]
+	}
+	// Rows whose suffix is exactly the current match followed by the
+	// sentinel partition ahead of all base extensions; there is at most one
+	// (the primary row).
+	cum := b
+	if a <= x.B.Primary && x.B.Primary <= a+ik.S-1 {
+		cum++
+	}
+	for c := 3; c >= 0; c-- {
+		if isBack {
+			ok[c].L = cum
+		} else {
+			ok[c].K = cum
+		}
+		cum += ok[c].S
+	}
+	return ok
+}
+
+// prefetchOcc issues a modeled software-prefetch hint for the occurrence
+// bucket of a full-column row (paper Algorithm 4, lines 11-12 and 26-27).
+// Only the optimized flavor prefetches, and only when tracing with prefetch
+// enabled — pure-Go execution has no prefetch instruction, so the hint only
+// affects the cache model.
+func (x *Index) prefetchOcc(row int) {
+	tr := x.tr
+	if tr == nil || !tr.EnablePrefetch || x.flavor != Optimized {
+		return
+	}
+	k := x.B.RankShift(row)
+	if k < 0 || k >= x.B.N {
+		return
+	}
+	tr.Prefetch(trace.OccBase+uint64(x.entryIndex(k))*occEntryBytes, occEntryBytes)
+}
+
+// LF maps a full-matrix row to the row whose suffix starts one text position
+// earlier (the LF mapping / inverse Psi). LF of the primary row wraps to the
+// sentinel row 0.
+func (x *Index) LF(k int) int {
+	if k == x.B.Primary {
+		return 0
+	}
+	c := x.B.Char(k)
+	return x.B.C[c] + x.Occ(c, k) - 1
+}
+
+// sortIntervals orders seeds by (QBeg, QEnd), BWA's mem_intv order.
+func sortIntervals(a []BiInterval) {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].QBeg != a[j].QBeg {
+			return a[i].QBeg < a[j].QBeg
+		}
+		return a[i].QEnd < a[j].QEnd
+	})
+}

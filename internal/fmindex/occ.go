@@ -1,0 +1,266 @@
+// Occurrence (rank) tables over the stored BWT column B0. Two layouts are
+// implemented, matching the two designs the paper compares:
+//
+//   - Occ128 — the original BWA-MEM layout (§4.1): bucket size η = 128 with
+//     the BWT substring packed 2 bits per base. A bucket is 64 bytes: four
+//     8-byte cumulative counts plus 32 bytes (four words) of packed bases.
+//     Counting a base inside a bucket scans up to four 32-base words with
+//     2-bit SWAR matching — "a large number of instructions" (§4.4).
+//
+//   - Occ32 — the paper's optimized layout (§4.4): bucket size η = 32 with
+//     one byte per base so the in-bucket count vectorizes to a byte-compare
+//     mask plus popcount (AVX2 in the paper; 8-byte SWAR words here). A
+//     bucket is also one 64-byte cache line: four 4-byte counts (16 B), 32
+//     base bytes, and 16 B of padding for cache-line alignment.
+//
+// Both tables answer rank queries over B0 (the sentinel-free stored BWT);
+// the Index layer shifts full-column row numbers around the primary row.
+package fmindex
+
+import "math/bits"
+
+// occEntryBytes is the size of one bucket of either layout: one cache line.
+const occEntryBytes = 64
+
+// ---------------------------------------------------------------------------
+// Occ128: baseline layout.
+
+type occ128Block struct {
+	counts [4]uint64 // occurrences of each base strictly before this bucket
+	data   [4]uint64 // 128 bases, 2 bits each, base i at bits (2i%64) of word i/32
+}
+
+// Occ128 is the original BWA-MEM occurrence table (η = 128, 2-bit packed).
+type Occ128 struct {
+	blocks []occ128Block
+	n      int
+}
+
+// NewOcc128 builds the baseline table over the stored BWT column.
+func NewOcc128(b0 []byte) *Occ128 {
+	n := len(b0)
+	nb := (n + 127) / 128
+	if nb == 0 {
+		nb = 1
+	}
+	o := &Occ128{blocks: make([]occ128Block, nb), n: n}
+	var run [4]uint64
+	for i, c := range b0 {
+		blk := i >> 7
+		if i&127 == 0 {
+			o.blocks[blk].counts = run
+		}
+		w := (i & 127) >> 5
+		sh := uint(i&31) << 1
+		o.blocks[blk].data[w] |= uint64(c) << sh
+		run[c]++
+	}
+	if n&127 == 0 && n > 0 {
+		// counts of the (unused) trailing block boundary are never read.
+		_ = run
+	}
+	if n == 0 {
+		o.blocks[0].counts = run
+	}
+	return o
+}
+
+// count2bit counts occurrences of base c among the first m 2-bit slots of w.
+func count2bit(w uint64, c byte, m int) int {
+	if m == 0 {
+		return 0
+	}
+	x := w ^ (0x5555555555555555 * uint64(c))
+	mask := ^(x | x>>1) & 0x5555555555555555
+	if m < 32 {
+		mask &= (1 << (uint(m) * 2)) - 1
+	}
+	return bits.OnesCount64(mask)
+}
+
+// Count returns occurrences of c in B0[0..k]; k must be in [-1, n-1].
+func (o *Occ128) Count(c byte, k int) int {
+	if k < 0 {
+		return 0
+	}
+	blk := &o.blocks[k>>7]
+	cnt := int(blk.counts[c])
+	m := k&127 + 1
+	for w := 0; m > 0; w++ {
+		step := m
+		if step > 32 {
+			step = 32
+		}
+		cnt += count2bit(blk.data[w], c, step)
+		m -= step
+	}
+	return cnt
+}
+
+// Count4 returns occurrences of all four bases in B0[0..k].
+func (o *Occ128) Count4(k int) (cnt [4]int) {
+	if k < 0 {
+		return
+	}
+	blk := &o.blocks[k>>7]
+	for c := 0; c < 4; c++ {
+		cnt[c] = int(blk.counts[c])
+	}
+	m := k&127 + 1
+	for w := 0; m > 0; w++ {
+		step := m
+		if step > 32 {
+			step = 32
+		}
+		d := blk.data[w]
+		for c := byte(0); c < 4; c++ {
+			cnt[c] += count2bit(d, c, step)
+		}
+		m -= step
+	}
+	return
+}
+
+// Eta returns the bucket size.
+func (o *Occ128) Eta() int { return 128 }
+
+// EntryIndex returns the bucket number holding position k (k >= 0).
+func (o *Occ128) EntryIndex(k int) int { return k >> 7 }
+
+// wordsFor reports how many packed words an in-bucket scan up to k touches.
+func (o *Occ128) wordsFor(k int) int { return (k&127)>>5 + 1 }
+
+// basesPerWord is the number of symbol slots per scanned word.
+func (o *Occ128) basesPerWord() int { return 32 }
+
+// MemFootprint returns the table size in bytes.
+func (o *Occ128) MemFootprint() int { return len(o.blocks) * occEntryBytes }
+
+// ---------------------------------------------------------------------------
+// Occ32: the paper's optimized layout.
+
+type occ32Entry struct {
+	counts [4]uint32 // occurrences of each base strictly before this bucket
+	bases  [4]uint64 // 32 bases, one byte each, base i at byte i%8 of word i/8
+	pad    [2]uint64 // padding to a full 64-byte cache line (§4.4)
+}
+
+// Occ32 is the paper's optimized occurrence table (η = 32, byte-per-base).
+type Occ32 struct {
+	entries []occ32Entry
+	n       int
+}
+
+// NewOcc32 builds the optimized table over the stored BWT column. It errors
+// via panic if the text exceeds the 4-byte count range (the same limit the
+// paper's 16-byte count area implies).
+func NewOcc32(b0 []byte) *Occ32 {
+	n := len(b0)
+	if uint64(n) > 1<<32-1 {
+		panic("fmindex: text too long for 32-bit occurrence counts")
+	}
+	ne := (n + 31) / 32
+	if ne == 0 {
+		ne = 1
+	}
+	o := &Occ32{entries: make([]occ32Entry, ne), n: n}
+	var run [4]uint32
+	for i, c := range b0 {
+		ent := i >> 5
+		if i&31 == 0 {
+			o.entries[ent].counts = run
+		}
+		w := (i & 31) >> 3
+		sh := uint(i&7) << 3
+		o.entries[ent].bases[w] |= uint64(c) << sh
+		run[c]++
+	}
+	if n == 0 {
+		o.entries[0].counts = run
+	}
+	// The pad field exists only to give each entry cache-line size; keep the
+	// compiler from flagging it as dead.
+	_ = o.entries[0].pad
+	return o
+}
+
+const (
+	ones  = 0x0101010101010101
+	highs = 0x8080808080808080
+	lows  = 0x7f7f7f7f7f7f7f7f
+)
+
+// countByteEq counts bytes equal to c among the first m bytes of w (bytes
+// taken little-endian). The zero-byte detection is the carry-free SWAR form,
+// exact per byte — this is the scalar stand-in for the paper's AVX2
+// byte-compare + popcount.
+func countByteEq(w uint64, c byte, m int) int {
+	if m == 0 {
+		return 0
+	}
+	x := w ^ (ones * uint64(c))
+	t := (x & lows) + lows
+	mask := ^(t | x | lows) // 0x80 exactly at zero bytes
+	if m < 8 {
+		mask &= (1 << (uint(m) * 8)) - 1
+	}
+	return bits.OnesCount64(mask)
+}
+
+// Count returns occurrences of c in B0[0..k]; k must be in [-1, n-1].
+func (o *Occ32) Count(c byte, k int) int {
+	if k < 0 {
+		return 0
+	}
+	ent := &o.entries[k>>5]
+	cnt := int(ent.counts[c])
+	m := k&31 + 1
+	for w := 0; m > 0; w++ {
+		step := m
+		if step > 8 {
+			step = 8
+		}
+		cnt += countByteEq(ent.bases[w], c, step)
+		m -= step
+	}
+	return cnt
+}
+
+// Count4 returns occurrences of all four bases in B0[0..k].
+func (o *Occ32) Count4(k int) (cnt [4]int) {
+	if k < 0 {
+		return
+	}
+	ent := &o.entries[k>>5]
+	for c := 0; c < 4; c++ {
+		cnt[c] = int(ent.counts[c])
+	}
+	m := k&31 + 1
+	for w := 0; m > 0; w++ {
+		step := m
+		if step > 8 {
+			step = 8
+		}
+		d := ent.bases[w]
+		for c := byte(0); c < 4; c++ {
+			cnt[c] += countByteEq(d, c, step)
+		}
+		m -= step
+	}
+	return
+}
+
+// Eta returns the bucket size.
+func (o *Occ32) Eta() int { return 32 }
+
+// EntryIndex returns the bucket number holding position k (k >= 0).
+func (o *Occ32) EntryIndex(k int) int { return k >> 5 }
+
+// wordsFor reports how many base words an in-bucket scan up to k touches.
+func (o *Occ32) wordsFor(k int) int { return (k&31)>>3 + 1 }
+
+// basesPerWord is the number of symbol slots per scanned word.
+func (o *Occ32) basesPerWord() int { return 8 }
+
+// MemFootprint returns the table size in bytes.
+func (o *Occ32) MemFootprint() int { return len(o.entries) * occEntryBytes }

@@ -1,0 +1,176 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveCount counts c in b0[0..k] inclusive.
+func naiveCount(b0 []byte, c byte, k int) int {
+	n := 0
+	for i := 0; i <= k; i++ {
+		if b0[i] == c {
+			n++
+		}
+	}
+	return n
+}
+
+func randB0(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(4))
+	}
+	return b
+}
+
+func TestOcc128MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 31, 32, 33, 127, 128, 129, 300, 1000} {
+		b0 := randB0(rng, n)
+		o := NewOcc128(b0)
+		for k := -1; k < n; k++ {
+			got4 := o.Count4(k)
+			for c := byte(0); c < 4; c++ {
+				want := 0
+				if k >= 0 {
+					want = naiveCount(b0, c, k)
+				}
+				if got := o.Count(c, k); got != want {
+					t.Fatalf("n=%d Occ128.Count(%d,%d) = %d, want %d", n, c, k, got, want)
+				}
+				if got4[c] != want {
+					t.Fatalf("n=%d Occ128.Count4(%d)[%d] = %d, want %d", n, k, c, got4[c], want)
+				}
+			}
+		}
+	}
+}
+
+func TestOcc32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 7, 8, 9, 31, 32, 33, 64, 300, 1000} {
+		b0 := randB0(rng, n)
+		o := NewOcc32(b0)
+		for k := -1; k < n; k++ {
+			got4 := o.Count4(k)
+			for c := byte(0); c < 4; c++ {
+				want := 0
+				if k >= 0 {
+					want = naiveCount(b0, c, k)
+				}
+				if got := o.Count(c, k); got != want {
+					t.Fatalf("n=%d Occ32.Count(%d,%d) = %d, want %d", n, c, k, got, want)
+				}
+				if got4[c] != want {
+					t.Fatalf("n=%d Occ32.Count4(%d)[%d] = %d, want %d", n, k, c, got4[c], want)
+				}
+			}
+		}
+	}
+}
+
+func TestOccLayoutGeometry(t *testing.T) {
+	b0 := randB0(rand.New(rand.NewSource(1)), 1000)
+	o128, o32 := NewOcc128(b0), NewOcc32(b0)
+	if o128.Eta() != 128 || o32.Eta() != 32 {
+		t.Fatal("eta")
+	}
+	// 1000 bases: ceil(1000/128)=8 blocks, ceil(1000/32)=32 entries; 64 B each.
+	if o128.MemFootprint() != 8*64 {
+		t.Errorf("Occ128 footprint = %d", o128.MemFootprint())
+	}
+	if o32.MemFootprint() != 32*64 {
+		t.Errorf("Occ32 footprint = %d", o32.MemFootprint())
+	}
+	// The optimized table trades 4x memory for fewer scanned bases — the
+	// §4.4 trade-off.
+	if o32.MemFootprint() != 4*o128.MemFootprint() {
+		t.Errorf("footprint ratio: %d vs %d", o32.MemFootprint(), o128.MemFootprint())
+	}
+	if o128.EntryIndex(129) != 1 || o32.EntryIndex(129) != 4 {
+		t.Error("entry index")
+	}
+	// Words scanned for a mid-bucket query: Occ128 touches 32-base words,
+	// Occ32 touches 8-base words.
+	if o128.wordsFor(64) != 3 || o128.basesPerWord() != 32 {
+		t.Errorf("Occ128 words for k=64: %d", o128.wordsFor(64))
+	}
+	if o32.wordsFor(64) != 1 || o32.basesPerWord() != 8 {
+		t.Errorf("Occ32 words for k=64: %d", o32.wordsFor(64))
+	}
+}
+
+func TestCount2bitEdge(t *testing.T) {
+	// Word with all slots = 0 ('A'): count of A in m slots is m.
+	for m := 0; m <= 32; m++ {
+		if got := count2bit(0, 0, m); got != m {
+			t.Fatalf("count2bit(0,0,%d) = %d", m, got)
+		}
+		if got := count2bit(0, 1, m); got != 0 {
+			t.Fatalf("count2bit(0,1,%d) = %d", m, got)
+		}
+	}
+	// All slots = 3.
+	w := ^uint64(0)
+	for m := 0; m <= 32; m++ {
+		if got := count2bit(w, 3, m); got != m {
+			t.Fatalf("count2bit(ff,3,%d) = %d", m, got)
+		}
+	}
+}
+
+func TestCountByteEqEdge(t *testing.T) {
+	// Bytes 0..7 in one word.
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w |= uint64(i&3) << (8 * i) // pattern 0,1,2,3,0,1,2,3
+	}
+	for c := byte(0); c < 4; c++ {
+		for m := 0; m <= 8; m++ {
+			want := 0
+			for i := 0; i < m; i++ {
+				if byte(i&3) == c {
+					want++
+				}
+			}
+			if got := countByteEq(w, c, m); got != want {
+				t.Fatalf("countByteEq(c=%d,m=%d) = %d, want %d", c, m, got, want)
+			}
+		}
+	}
+	// The carry-free form must not produce the classic haszero false
+	// positive: adjacent 0x00 then 0x01 bytes.
+	w = 0x0100 // byte0=0x00, byte1=0x01
+	if got := countByteEq(w, 0, 8); got != 7 {
+		t.Fatalf("countByteEq(0x0100, 0) = %d, want 7 (bytes 0,2..7 are zero)", got)
+	}
+}
+
+func BenchmarkOcc128Count4(b *testing.B) {
+	b0 := randB0(rand.New(rand.NewSource(5)), 1<<20)
+	o := NewOcc128(b0)
+	rng := rand.New(rand.NewSource(6))
+	ks := make([]int, 4096)
+	for i := range ks {
+		ks[i] = rng.Intn(len(b0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Count4(ks[i&4095])
+	}
+}
+
+func BenchmarkOcc32Count4(b *testing.B) {
+	b0 := randB0(rand.New(rand.NewSource(5)), 1<<20)
+	o := NewOcc32(b0)
+	rng := rand.New(rand.NewSource(6))
+	ks := make([]int, 4096)
+	for i := range ks {
+		ks[i] = rng.Intn(len(b0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Count4(ks[i&4095])
+	}
+}

@@ -1,0 +1,227 @@
+package fmindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bruteSMEMs computes all SMEMs of q overlapping position x0 by definition:
+// substrings of q containing x0 that occur in text, are maximal (no left or
+// right extension still occurs), and are not contained in another maximal
+// match of q.
+func bruteSMEMs(text, q []byte, x0 int) [][2]int {
+	type span struct{ s, e int }
+	var mems []span
+	for s := 0; s <= x0; s++ {
+		for e := x0 + 1; e <= len(q); e++ {
+			if countOcc(text, q[s:e]) == 0 {
+				continue
+			}
+			leftMax := s == 0 || countOcc(text, q[s-1:e]) == 0
+			rightMax := e == len(q) || countOcc(text, q[s:e+1]) == 0
+			if leftMax && rightMax {
+				mems = append(mems, span{s, e})
+			}
+		}
+	}
+	var out [][2]int
+	for _, m := range mems {
+		contained := false
+		for _, o := range mems {
+			if o != m && o.s <= m.s && m.e <= o.e {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, [2]int{m.s, m.e})
+		}
+	}
+	return out
+}
+
+func TestSMEM1MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		text := doubledText(randText(rng, 30+rng.Intn(150)))
+		for _, flavor := range []Flavor{Baseline, Optimized} {
+			x, _, err := Build(text, flavor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf SMEMBuf
+			for rep := 0; rep < 10; rep++ {
+				q := randText(rng, 4+rng.Intn(20))
+				x0 := rng.Intn(len(q))
+				got, _ := x.SMEM1(q, x0, 1, &buf, nil)
+				want := bruteSMEMs(text, q, x0)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d %v: q=%v x0=%d: got %v, want %v", trial, flavor, q, x0, got, want)
+				}
+				for i, m := range got {
+					if int(m.QBeg) != want[i][0] || int(m.QEnd) != want[i][1] {
+						t.Fatalf("trial %d %v: q=%v x0=%d: smem %d = %v, want %v", trial, flavor, q, x0, i, m, want[i])
+					}
+					if m.S != countOcc(text, q[m.QBeg:m.QEnd]) {
+						t.Fatalf("trial %d %v: smem %v: S=%d, occurrences=%d",
+							trial, flavor, m, m.S, countOcc(text, q[m.QBeg:m.QEnd]))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSMEM1ReturnValueAdvances(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	text := doubledText(randText(rng, 200))
+	x, _, _ := Build(text, Optimized)
+	var buf SMEMBuf
+	q := randText(rng, 60)
+	for x0 := 0; x0 < len(q); {
+		_, next := x.SMEM1(q, x0, 1, &buf, nil)
+		if next <= x0 {
+			t.Fatalf("SMEM1 did not advance: x0=%d next=%d", x0, next)
+		}
+		x0 = next
+	}
+}
+
+func TestSMEM1AmbiguousBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	text := doubledText(randText(rng, 100))
+	x, _, _ := Build(text, Baseline)
+	var buf SMEMBuf
+	q := randText(rng, 20)
+	q[5] = 4 // N
+	// Starting on the N: no mems, advance by one.
+	mems, next := x.SMEM1(q, 5, 1, &buf, nil)
+	if len(mems) != 0 || next != 6 {
+		t.Fatalf("SMEM1 on N: mems=%v next=%d", mems, next)
+	}
+	// Starting before the N: no SMEM may cross position 5.
+	mems, _ = x.SMEM1(q, 2, 1, &buf, nil)
+	for _, m := range mems {
+		if m.QBeg <= 5 && 5 < m.QEnd {
+			t.Fatalf("SMEM %v crosses the ambiguous base", m)
+		}
+	}
+}
+
+func TestSMEM1MinIntv(t *testing.T) {
+	// With minIntv above the occurrence count of any long match, SMEM1 only
+	// keeps shorter, more frequent matches — the re-seeding mechanism.
+	rng := rand.New(rand.NewSource(34))
+	fwd := randText(rng, 400)
+	text := doubledText(fwd)
+	x, _, _ := Build(text, Optimized)
+	var buf SMEMBuf
+	// A query equal to a unique region of the text.
+	q := append([]byte(nil), fwd[100:140]...)
+	full, _ := x.SMEM1(q, 20, 1, &buf, nil)
+	if len(full) != 1 || full[0].Len() != 40 {
+		t.Fatalf("expected one full-length SMEM, got %v", full)
+	}
+	occ := full[0].S
+	again, _ := x.SMEM1(q, 20, occ+1, &buf, nil)
+	for _, m := range again {
+		if m.Len() == 40 && m.S == occ {
+			t.Fatalf("raised minIntv should suppress the unique full-length match: %v", again)
+		}
+	}
+}
+
+func TestCollectIntervalsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	fwd := randText(rng, 2000)
+	text := doubledText(fwd)
+	opt := DefaultSeedOpts()
+	for _, flavor := range []Flavor{Baseline, Optimized} {
+		x, _, _ := Build(text, flavor)
+		var buf SMEMBuf
+		for rep := 0; rep < 20; rep++ {
+			// Reads sampled from the reference with a few mismatches.
+			pos := rng.Intn(len(fwd) - 120)
+			q := append([]byte(nil), fwd[pos:pos+100]...)
+			for m := 0; m < 3; m++ {
+				q[rng.Intn(len(q))] = byte(rng.Intn(4))
+			}
+			seeds := x.CollectIntervals(q, opt, &buf, nil)
+			if len(seeds) == 0 {
+				t.Fatalf("no seeds for a reference-derived read")
+			}
+			for i, s := range seeds {
+				if s.S < 1 {
+					t.Fatalf("seed %v has empty interval", s)
+				}
+				if s.QBeg < 0 || int(s.QEnd) > len(q) || s.QBeg >= s.QEnd {
+					t.Fatalf("seed %v out of query range", s)
+				}
+				if s.Len() < opt.MinSeedLen {
+					t.Fatalf("seed %v shorter than MinSeedLen", s)
+				}
+				if s.S != countOcc(text, q[s.QBeg:s.QEnd]) {
+					t.Fatalf("seed %v: S=%d but %d occurrences", s, s.S, countOcc(text, q[s.QBeg:s.QEnd]))
+				}
+				if i > 0 && (seeds[i-1].QBeg > s.QBeg ||
+					(seeds[i-1].QBeg == s.QBeg && seeds[i-1].QEnd > s.QEnd)) {
+					t.Fatalf("seeds not sorted: %v before %v", seeds[i-1], s)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectIntervalsFlavorsIdentical(t *testing.T) {
+	// The paper's core requirement: the optimized index must produce output
+	// identical to the baseline.
+	rng := rand.New(rand.NewSource(36))
+	fwd := randText(rng, 3000)
+	text := doubledText(fwd)
+	xb, _, _ := Build(text, Baseline)
+	xo, _, _ := Build(text, Optimized)
+	opt := DefaultSeedOpts()
+	var bb, bo SMEMBuf
+	for rep := 0; rep < 50; rep++ {
+		pos := rng.Intn(len(fwd) - 160)
+		q := append([]byte(nil), fwd[pos:pos+151]...)
+		for m := 0; m < 1+rng.Intn(6); m++ {
+			q[rng.Intn(len(q))] = byte(rng.Intn(4))
+		}
+		sb := xb.CollectIntervals(q, opt, &bb, nil)
+		so := xo.CollectIntervals(q, opt, &bo, nil)
+		if !reflect.DeepEqual(sb, so) {
+			t.Fatalf("rep %d: flavors disagree:\nbaseline  %v\noptimized %v", rep, sb, so)
+		}
+	}
+}
+
+func TestSeedStrategy1(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	fwd := randText(rng, 1000)
+	text := doubledText(fwd)
+	x, _, _ := Build(text, Optimized)
+	q := append([]byte(nil), fwd[200:260]...)
+	m, next, found := x.SeedStrategy1(q, 0, 19, 20)
+	if !found {
+		t.Fatal("expected a seed from a reference-derived read")
+	}
+	if m.Len() < 20 {
+		t.Fatalf("seed length %d, want > minLen", m.Len())
+	}
+	if m.S >= 20 {
+		t.Fatalf("seed occurrence %d, want < maxIntv", m.S)
+	}
+	if next != int(m.QEnd) {
+		t.Fatalf("next=%d, want %d", next, m.QEnd)
+	}
+	if m.S != countOcc(text, q[m.QBeg:m.QEnd]) {
+		t.Fatalf("S=%d, occurrences=%d", m.S, countOcc(text, q[m.QBeg:m.QEnd]))
+	}
+	// Ambiguous start.
+	q[0] = 4
+	if _, next, found := x.SeedStrategy1(q, 0, 19, 20); found || next != 1 {
+		t.Fatal("N start should not seed")
+	}
+}

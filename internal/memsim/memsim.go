@@ -1,0 +1,277 @@
+// Package memsim is a trace-driven, multi-level cache-hierarchy simulator.
+//
+// The paper quantifies its SMEM and SAL improvements with hardware
+// performance counters (LLC misses, average memory latency) on a Xeon
+// Skylake. Pure Go has no access to such counters, and no software-prefetch
+// instruction, so the reproduction replays the kernels' exact memory-access
+// streams through this simulator instead: the index structures report the
+// synthetic address of every occurrence-table bucket and suffix-array entry
+// they touch, and memsim turns that stream into miss counts and an average
+// access latency. Software prefetching (Algorithm 4, lines 11-12/26-27 of
+// the paper) is modeled as an asynchronous fill that charges no demand
+// latency.
+package memsim
+
+import "fmt"
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name    string
+	Size    int // capacity in bytes
+	Ways    int // associativity
+	Latency int // hit latency in cycles
+}
+
+// Config describes a full hierarchy, ordered from the level closest to the
+// core (L1) to the last-level cache.
+type Config struct {
+	LineSize   int // cache line size in bytes
+	Levels     []LevelConfig
+	MemLatency int // miss-everywhere latency in cycles
+}
+
+// Skylake returns a configuration resembling one core's view of the Intel
+// Xeon Platinum 8180 used in the paper (Table 2): 32 KB L1D, 1 MB L2, and
+// the 38.5 MB shared LLC.
+func Skylake() Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1D", Size: 32 << 10, Ways: 8, Latency: 4},
+			{Name: "L2", Size: 1 << 20, Ways: 16, Latency: 14},
+			{Name: "LLC", Size: 38<<20 + 512<<10, Ways: 11, Latency: 50},
+		},
+		MemLatency: 200,
+	}
+}
+
+// Scaled returns a hierarchy with the same structure as Skylake but capacities
+// shrunk 16x, so that laptop-scale indexes (tens of MB instead of the paper's
+// tens of GB) exhibit the same index-size-to-LLC-size ratio and therefore the
+// same miss behaviour the paper measures.
+func Scaled() Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1D", Size: 8 << 10, Ways: 8, Latency: 4},
+			{Name: "L2", Size: 64 << 10, Ways: 16, Latency: 14},
+			{Name: "LLC", Size: 2 << 20, Ways: 16, Latency: 50},
+		},
+		MemLatency: 200,
+	}
+}
+
+// Stats accumulates the counters the paper reports.
+type Stats struct {
+	Loads      int64
+	Stores     int64
+	Prefetches int64
+	// HitsAt[i] counts demand accesses served by level i; HitsMem counts
+	// demand accesses served by memory (== misses in every cache level).
+	HitsAt  []int64
+	HitsMem int64
+	// PrefetchFills counts prefetches that had to fetch from memory (the
+	// useful ones; the rest were already cached).
+	PrefetchFills int64
+	TotalLatency  int64 // cycles across all demand accesses
+}
+
+// Accesses returns the number of demand accesses (loads + stores).
+func (s *Stats) Accesses() int64 { return s.Loads + s.Stores }
+
+// LLCMisses returns demand accesses that missed every cache level.
+func (s *Stats) LLCMisses() int64 { return s.HitsMem }
+
+// AvgLatency returns the mean demand-access latency in cycles.
+func (s *Stats) AvgLatency() float64 {
+	n := s.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(n)
+}
+
+type level struct {
+	cfg     LevelConfig
+	sets    int
+	tags    []uint64 // sets*ways entries; 0 means empty
+	ages    []uint64
+	setMask uint64
+}
+
+// Hierarchy simulates a demand stream through the configured levels with LRU
+// replacement and inclusive fills. It is not safe for concurrent use; give
+// each worker its own Hierarchy.
+type Hierarchy struct {
+	cfg    Config
+	levels []*level
+	clock  uint64
+	Stats  Stats
+}
+
+// New builds a Hierarchy from a configuration. It panics on invalid
+// geometry (non-power-of-two line size, level smaller than one set).
+func New(cfg Config) *Hierarchy {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("memsim: line size %d is not a positive power of two", cfg.LineSize))
+	}
+	h := &Hierarchy{cfg: cfg}
+	for _, lc := range cfg.Levels {
+		sets := lc.Size / (cfg.LineSize * lc.Ways)
+		if sets <= 0 {
+			panic(fmt.Sprintf("memsim: level %s too small for %d ways", lc.Name, lc.Ways))
+		}
+		// Round sets down to a power of two for mask indexing.
+		p := 1
+		for p*2 <= sets {
+			p *= 2
+		}
+		l := &level{
+			cfg:     lc,
+			sets:    p,
+			tags:    make([]uint64, p*lc.Ways),
+			ages:    make([]uint64, p*lc.Ways),
+			setMask: uint64(p - 1),
+		}
+		h.levels = append(h.levels, l)
+	}
+	h.Stats.HitsAt = make([]int64, len(cfg.Levels))
+	return h
+}
+
+// lookup probes a level for a line number; on hit it refreshes LRU age.
+func (l *level) lookup(line uint64, clock uint64) bool {
+	set := int(line & l.setMask)
+	base := set * l.cfg.Ways
+	tag := line + 1 // +1 so that tag 0 means "empty"
+	for w := 0; w < l.cfg.Ways; w++ {
+		if l.tags[base+w] == tag {
+			l.ages[base+w] = clock
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts a line, evicting the LRU way.
+func (l *level) fill(line uint64, clock uint64) {
+	set := int(line & l.setMask)
+	base := set * l.cfg.Ways
+	tag := line + 1
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < l.cfg.Ways; w++ {
+		if l.tags[base+w] == tag {
+			l.ages[base+w] = clock
+			return
+		}
+		if l.ages[base+w] < oldest || l.tags[base+w] == 0 {
+			if l.tags[base+w] == 0 {
+				victim = w
+				break
+			}
+			victim, oldest = w, l.ages[base+w]
+		}
+	}
+	l.tags[base+victim] = tag
+	l.ages[base+victim] = clock
+}
+
+// access walks the hierarchy for one line and returns the level index that
+// served it (len(levels) means memory) after filling all missed levels.
+func (h *Hierarchy) access(line uint64) int {
+	h.clock++
+	served := len(h.levels)
+	for i, l := range h.levels {
+		if l.lookup(line, h.clock) {
+			served = i
+			break
+		}
+	}
+	for i := 0; i < served && i < len(h.levels); i++ {
+		h.levels[i].fill(line, h.clock)
+	}
+	if served == len(h.levels) {
+		for _, l := range h.levels {
+			l.fill(line, h.clock)
+		}
+	}
+	return served
+}
+
+// latencyOf maps a serving level index to cycles.
+func (h *Hierarchy) latencyOf(served int) int {
+	if served < len(h.levels) {
+		return h.cfg.Levels[served].Latency
+	}
+	return h.cfg.MemLatency
+}
+
+// lines enumerates the cache lines covered by [addr, addr+size).
+func (h *Hierarchy) lines(addr uint64, size int) (first, last uint64) {
+	ls := uint64(h.cfg.LineSize)
+	first = addr / ls
+	if size <= 0 {
+		size = 1
+	}
+	last = (addr + uint64(size) - 1) / ls
+	return first, last
+}
+
+// Load simulates a demand read of [addr, addr+size).
+func (h *Hierarchy) Load(addr uint64, size int) {
+	h.Stats.Loads++
+	h.demand(addr, size)
+}
+
+// Store simulates a demand write of [addr, addr+size) (write-allocate).
+func (h *Hierarchy) Store(addr uint64, size int) {
+	h.Stats.Stores++
+	h.demand(addr, size)
+}
+
+func (h *Hierarchy) demand(addr uint64, size int) {
+	first, last := h.lines(addr, size)
+	worst := 0
+	for line := first; line <= last; line++ {
+		served := h.access(line)
+		if served > worst {
+			worst = served
+		}
+		if served < len(h.levels) {
+			h.Stats.HitsAt[served]++
+		} else {
+			h.Stats.HitsMem++
+		}
+	}
+	h.Stats.TotalLatency += int64(h.latencyOf(worst))
+}
+
+// PrefetchAddr simulates a software prefetch of the line containing addr: the
+// line is brought into every level but no demand latency is charged, modeling
+// a prefetch issued early enough to complete before the demand access.
+func (h *Hierarchy) PrefetchAddr(addr uint64, size int) {
+	h.Stats.Prefetches++
+	first, last := h.lines(addr, size)
+	for line := first; line <= last; line++ {
+		if served := h.access(line); served == len(h.levels) {
+			h.Stats.PrefetchFills++
+		}
+	}
+}
+
+// ResetStats clears the counters but keeps cache contents warm.
+func (h *Hierarchy) ResetStats() {
+	h.Stats = Stats{HitsAt: make([]int64, len(h.levels))}
+}
+
+// Reset clears the cache contents and counters.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		for i := range l.tags {
+			l.tags[i] = 0
+			l.ages[i] = 0
+		}
+	}
+	h.Stats = Stats{HitsAt: make([]int64, len(h.levels))}
+	h.clock = 0
+}

@@ -1,0 +1,178 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tiny returns a single-level hierarchy: 4 sets x 2 ways x 64B lines = 512B.
+func tiny() *Hierarchy {
+	return New(Config{
+		LineSize:   64,
+		Levels:     []LevelConfig{{Name: "L1", Size: 512, Ways: 2, Latency: 4}},
+		MemLatency: 100,
+	})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := tiny()
+	h.Load(0, 8)
+	if h.Stats.HitsMem != 1 || h.Stats.HitsAt[0] != 0 {
+		t.Fatalf("first access should miss: %+v", h.Stats)
+	}
+	if h.Stats.TotalLatency != 100 {
+		t.Fatalf("miss latency = %d, want 100", h.Stats.TotalLatency)
+	}
+	h.Load(8, 8) // same line
+	if h.Stats.HitsAt[0] != 1 {
+		t.Fatalf("second access should hit L1: %+v", h.Stats)
+	}
+	if h.Stats.TotalLatency != 104 {
+		t.Fatalf("total latency = %d, want 104", h.Stats.TotalLatency)
+	}
+	if h.Stats.Loads != 2 || h.Stats.Accesses() != 2 {
+		t.Fatalf("load count: %+v", h.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := tiny()                                         // 4 sets, 2 ways: lines mapping to set 0 are multiples of 4
+	line := func(i uint64) uint64 { return i * 4 * 64 } // addresses in set 0
+	h.Load(line(1), 1)
+	h.Load(line(2), 1) // set 0 now holds lines 4,8
+	h.Load(line(1), 1) // refresh line 4
+	h.Load(line(3), 1) // evicts LRU = line 8
+	h.Load(line(1), 1) // hit
+	if h.Stats.HitsAt[0] != 2 {
+		t.Fatalf("want 2 hits before eviction check: %+v", h.Stats)
+	}
+	h.Load(line(2), 1) // was evicted: miss
+	if h.Stats.HitsMem != 4 {
+		t.Fatalf("want 4 memory hits, got %+v", h.Stats)
+	}
+}
+
+func TestMultiLineAccessCountsPerLine(t *testing.T) {
+	h := tiny()
+	h.Load(60, 8) // straddles two lines
+	if h.Stats.HitsMem != 2 {
+		t.Fatalf("straddling access should touch 2 lines: %+v", h.Stats)
+	}
+	// Latency charged once per access (worst level), not per line.
+	if h.Stats.TotalLatency != 100 {
+		t.Fatalf("latency = %d, want 100", h.Stats.TotalLatency)
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	h := tiny()
+	h.PrefetchAddr(0, 1)
+	if h.Stats.Prefetches != 1 || h.Stats.PrefetchFills != 1 {
+		t.Fatalf("prefetch stats: %+v", h.Stats)
+	}
+	h.Load(0, 1)
+	if h.Stats.HitsAt[0] != 1 || h.Stats.HitsMem != 0 {
+		t.Fatalf("load after prefetch should hit: %+v", h.Stats)
+	}
+	if h.Stats.AvgLatency() != 4 {
+		t.Fatalf("avg latency = %f, want 4", h.Stats.AvgLatency())
+	}
+	// Prefetching an already-cached line is not a fill.
+	h.PrefetchAddr(0, 1)
+	if h.Stats.PrefetchFills != 1 {
+		t.Fatalf("cached prefetch should not fill: %+v", h.Stats)
+	}
+}
+
+func TestTwoLevelFill(t *testing.T) {
+	h := New(Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 128, Ways: 1, Latency: 4}, // 2 sets x 1 way
+			{Name: "L2", Size: 1024, Ways: 2, Latency: 12},
+		},
+		MemLatency: 100,
+	})
+	h.Load(0, 1)    // memory
+	h.Load(2*64, 1) // same L1 set (2 sets: line 0 and 2 both set 0): evicts line 0 from L1
+	h.Load(0, 1)    // must hit L2
+	if h.Stats.HitsAt[1] != 1 {
+		t.Fatalf("want L2 hit: %+v", h.Stats)
+	}
+	if got := h.Stats.TotalLatency; got != 100+100+12 {
+		t.Fatalf("latency = %d, want 212", got)
+	}
+	if h.Stats.LLCMisses() != 2 {
+		t.Fatalf("LLC misses = %d, want 2", h.Stats.LLCMisses())
+	}
+}
+
+func TestStoreCountsSeparately(t *testing.T) {
+	h := tiny()
+	h.Store(0, 8)
+	h.Load(0, 8)
+	if h.Stats.Stores != 1 || h.Stats.Loads != 1 {
+		t.Fatalf("stats: %+v", h.Stats)
+	}
+	if h.Stats.HitsAt[0] != 1 {
+		t.Fatal("load after store-allocate should hit")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := tiny()
+	h.Load(0, 1)
+	h.Reset()
+	if h.Stats.Accesses() != 0 {
+		t.Fatal("stats not cleared")
+	}
+	h.Load(0, 1)
+	if h.Stats.HitsMem != 1 {
+		t.Fatal("cache contents not cleared")
+	}
+}
+
+func TestWorkingSetFitsVsExceeds(t *testing.T) {
+	// A working set that fits in the cache has ~zero steady-state misses; one
+	// that exceeds it keeps missing. This is the property Table 4 depends on.
+	h := tiny() // 512 B
+	rng := rand.New(rand.NewSource(1))
+	// Fits: 8 lines ( = capacity).
+	for i := 0; i < 10000; i++ {
+		h.Load(uint64(rng.Intn(8))*64, 1)
+	}
+	small := h.Stats.HitsMem
+	if small > 16 { // only cold misses expected (some conflict slack)
+		t.Fatalf("fitting working set missed %d times", small)
+	}
+	h.Reset()
+	for i := 0; i < 10000; i++ {
+		h.Load(uint64(rng.Intn(1024))*64, 1)
+	}
+	if h.Stats.HitsMem < 5000 {
+		t.Fatalf("oversized working set should mostly miss, got %d/10000", h.Stats.HitsMem)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, cfg Config) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		New(cfg)
+	}
+	mustPanic("bad line", Config{LineSize: 60, Levels: []LevelConfig{{Size: 512, Ways: 2, Latency: 1}}})
+	mustPanic("tiny level", Config{LineSize: 64, Levels: []LevelConfig{{Size: 64, Ways: 4, Latency: 1}}})
+}
+
+func TestPresetConfigs(t *testing.T) {
+	for _, cfg := range []Config{Skylake(), Scaled()} {
+		h := New(cfg)
+		h.Load(123456, 4)
+		if h.Stats.Accesses() != 1 {
+			t.Fatal("preset config not usable")
+		}
+	}
+}

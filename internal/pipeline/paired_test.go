@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/seq"
+)
+
+func pairedSetup(t testing.TB) (*core.Aligner, []seq.Read, []seq.Read) {
+	t.Helper()
+	ref, err := datasets.Genome(datasets.DefaultGenome("chr1", 80000, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := datasets.DefaultPairs(datasets.D4.Scaled(0.06)) // 300 pairs, 101 bp
+	r1, r2, err := datasets.SimulatePairs(ref, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, r1, r2
+}
+
+func TestRunPairedProducesPairedRecords(t *testing.T) {
+	a, r1, r2 := pairedSetup(t)
+	res := RunPaired(a, r1, r2, Config{Threads: 2, BatchSize: 64})
+	lines := strings.Split(strings.TrimSuffix(string(res.SAM), "\n"), "\n")
+	if len(lines) != 2*len(r1) {
+		t.Fatalf("%d records for %d pairs", len(lines), len(r1))
+	}
+	proper, tlenOK, within := 0, 0, 0
+	for i := 0; i < len(lines); i += 2 {
+		f1 := strings.Split(lines[i], "\t")
+		f2 := strings.Split(lines[i+1], "\t")
+		if f1[0] != f2[0] {
+			t.Fatalf("pair records interleaved wrong: %q vs %q", f1[0], f2[0])
+		}
+		flag1, _ := strconv.Atoi(f1[1])
+		flag2, _ := strconv.Atoi(f2[1])
+		if flag1&core.FlagPaired == 0 || flag2&core.FlagPaired == 0 {
+			t.Fatalf("unpaired flags: %d %d", flag1, flag2)
+		}
+		if flag1&core.FlagFirst == 0 || flag2&core.FlagLast == 0 {
+			t.Fatalf("first/last wrong: %d %d", flag1, flag2)
+		}
+		if flag1&core.FlagProperPair != 0 {
+			proper++
+			tl1, _ := strconv.Atoi(f1[8])
+			tl2, _ := strconv.Atoi(f2[8])
+			if tl1+tl2 == 0 && tl1 != 0 {
+				tlenOK++
+			}
+			// Compare against the simulated fragment truth.
+			pos, flen, ok := datasets.TruePair(f1[0])
+			if !ok {
+				t.Fatalf("bad pair name %q", f1[0])
+			}
+			p1, _ := strconv.Atoi(f1[3])
+			p2, _ := strconv.Atoi(f2[3])
+			lo := p1
+			if p2 < lo {
+				lo = p2
+			}
+			if d := lo - 1 - pos; d >= -12 && d <= 12 {
+				within++
+			}
+			if a := tl1; a < 0 {
+				a = -a
+			} else if a-flen > 50 || flen-a > 50 {
+				t.Fatalf("tlen %d vs fragment %d", tl1, flen)
+			}
+		}
+	}
+	if proper < len(r1)*8/10 {
+		t.Fatalf("only %d/%d proper pairs", proper, len(r1))
+	}
+	if tlenOK < proper*9/10 {
+		t.Fatalf("tlen symmetry broken: %d/%d", tlenOK, proper)
+	}
+	if within < proper*9/10 {
+		t.Fatalf("only %d/%d proper pairs at the simulated fragment", within, proper)
+	}
+}
+
+func TestRunPairedThreadInvariant(t *testing.T) {
+	a, r1, r2 := pairedSetup(t)
+	one := RunPaired(a, r1, r2, Config{Threads: 1})
+	two := RunPaired(a, r1, r2, Config{Threads: 2, BatchSize: 32})
+	if !bytes.Equal(one.SAM, two.SAM) {
+		t.Fatal("paired output changed with thread count")
+	}
+}
+
+func TestRunPairedModesIdentical(t *testing.T) {
+	ref, err := datasets.Genome(datasets.DefaultGenome("chr1", 80000, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := datasets.DefaultPairs(datasets.D4.Scaled(0.04))
+	r1, r2, err := datasets.SimulatePairs(ref, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := core.NewAligner(ref, core.ModeBaseline, core.DefaultOptions())
+	ao, _ := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	rb := RunPaired(ab, r1, r2, Config{Threads: 2})
+	ro := RunPaired(ao, r1, r2, Config{Threads: 2})
+	if !bytes.Equal(rb.SAM, ro.SAM) {
+		t.Fatal("paired SAM differs between baseline and optimized modes")
+	}
+}

@@ -1,0 +1,239 @@
+// Package pipeline implements the two whole-program workflow organizations
+// the paper compares (Figure 2):
+//
+//   - The baseline layout is original BWA-MEM's: worker threads dynamically
+//     pull individual reads from the chunk and push each read through every
+//     stage (seed, lookup, chain, extend, format) before taking the next —
+//     pthread-style dynamic read distribution.
+//
+//   - The optimized layout is the paper's reorganization: the chunk is cut
+//     into batches, worker threads dynamically pull whole batches, and each
+//     stage runs over all reads of the batch before the next stage starts.
+//     This exposes the inter-read parallelism the batched BSW kernels need
+//     and lets scratch memory be reused across stages (§3.1-3.2).
+//
+// Both layouts produce byte-identical SAM output in read order.
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/seq"
+)
+
+// Config controls one pipeline run.
+type Config struct {
+	Threads   int // worker goroutines; <=0 means 1
+	BatchSize int // reads per batch (optimized layout); <=0 means 512
+	// Layout selects the workflow organization; by default it follows the
+	// aligner's mode.
+	Layout Layout
+}
+
+// Layout is the workflow organization of Figure 2.
+type Layout int
+
+const (
+	// LayoutAuto picks PerRead for baseline-mode aligners and Batched for
+	// optimized-mode aligners.
+	LayoutAuto Layout = iota
+	// LayoutPerRead processes one read through all stages at a time.
+	LayoutPerRead
+	// LayoutBatched processes each stage over a whole batch of reads.
+	LayoutBatched
+)
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	SAM   []byte
+	Reads int
+	Wall  time.Duration
+	Clock counters.StageClock // merged per-stage time across workers
+}
+
+// Run maps all reads and returns their SAM records in input order.
+func Run(a *core.Aligner, reads []seq.Read, cfg Config) *Result {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	layout := cfg.Layout
+	if layout == LayoutAuto {
+		if a.Mode == core.ModeOptimized {
+			layout = LayoutBatched
+		} else {
+			layout = LayoutPerRead
+		}
+	}
+
+	start := time.Now()
+	// Encode all reads up front (IO/encoding is excluded from the paper's
+	// measurements; keep it out of the stage clocks too).
+	codes := make([][]byte, len(reads))
+	for i := range reads {
+		codes[i] = seq.Encode(reads[i].Seq)
+	}
+	perRead := make([][]byte, len(reads))
+
+	clocks := make([]counters.StageClock, cfg.Threads)
+	var wg sync.WaitGroup
+	switch layout {
+	case LayoutPerRead:
+		var next int64 = -1
+		for w := 0; w < cfg.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := &core.Workspace{Clock: &clocks[w]}
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(reads) {
+						return
+					}
+					regs := a.AlignRead(codes[i], ws)
+					t0 := time.Now()
+					perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs)
+					ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+				}
+			}(w)
+		}
+	case LayoutBatched:
+		nBatches := (len(reads) + cfg.BatchSize - 1) / cfg.BatchSize
+		var next int64 = -1
+		for w := 0; w < cfg.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := &core.Workspace{Clock: &clocks[w]}
+				for {
+					b := int(atomic.AddInt64(&next, 1))
+					if b >= nBatches {
+						return
+					}
+					lo := b * cfg.BatchSize
+					hi := lo + cfg.BatchSize
+					if hi > len(reads) {
+						hi = len(reads)
+					}
+					regs := a.AlignBatch(codes[lo:hi], ws)
+					t0 := time.Now()
+					for i := lo; i < hi; i++ {
+						perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs[i-lo])
+					}
+					ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+
+	res := &Result{Reads: len(reads), Wall: time.Since(start)}
+	for i := range clocks {
+		res.Clock.Merge(&clocks[i])
+	}
+	n := 0
+	for _, r := range perRead {
+		n += len(r)
+	}
+	res.SAM = make([]byte, 0, n)
+	for _, r := range perRead {
+		res.SAM = append(res.SAM, r...)
+	}
+	return res
+}
+
+// RunPaired maps read pairs (reads1[i] pairs with reads2[i]): both ends are
+// aligned through the batch-staged pipeline, the FR insert-size
+// distribution is inferred from confident pairs (mem_pestat), and each pair
+// is emitted with pairing applied (mem_sam_pe, without mate rescue).
+func RunPaired(a *core.Aligner, reads1, reads2 []seq.Read, cfg Config) *Result {
+	if len(reads1) != len(reads2) {
+		panic("pipeline: unequal pair lists")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	start := time.Now()
+	codes1 := make([][]byte, len(reads1))
+	codes2 := make([][]byte, len(reads2))
+	for i := range reads1 {
+		codes1[i] = seq.Encode(reads1[i].Seq)
+		codes2[i] = seq.Encode(reads2[i].Seq)
+	}
+	regs1 := make([][]core.Region, len(reads1))
+	regs2 := make([][]core.Region, len(reads2))
+	clocks := make([]counters.StageClock, cfg.Threads)
+
+	// Phase 1: align all ends (batched, dynamic distribution).
+	nBatches := (len(reads1) + cfg.BatchSize - 1) / cfg.BatchSize
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &core.Workspace{Clock: &clocks[w]}
+			for {
+				b := int(atomic.AddInt64(&next, 1))
+				if b >= 2*nBatches {
+					return
+				}
+				end, bi := b/nBatches, b%nBatches
+				lo := bi * cfg.BatchSize
+				hi := lo + cfg.BatchSize
+				codes, regs := codes1, regs1
+				if end == 1 {
+					codes, regs = codes2, regs2
+				}
+				if hi > len(codes) {
+					hi = len(codes)
+				}
+				out := a.AlignBatch(codes[lo:hi], ws)
+				copy(regs[lo:hi], out)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 2: infer the insert-size distribution from all pairs.
+	ps := a.InferPairStats(regs1, regs2)
+
+	// Phase 3: pair and emit.
+	perPair := make([][]byte, len(reads1))
+	next = -1
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(reads1) {
+					return
+				}
+				t0 := time.Now()
+				perPair[i] = a.AppendSAMPair(nil, &ps, &reads1[i], &reads2[i],
+					codes1[i], codes2[i], regs1[i], regs2[i])
+				clocks[w].Add(counters.StageSAMForm, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{Reads: 2 * len(reads1), Wall: time.Since(start)}
+	for i := range clocks {
+		res.Clock.Merge(&clocks[i])
+	}
+	for _, r := range perPair {
+		res.SAM = append(res.SAM, r...)
+	}
+	return res
+}

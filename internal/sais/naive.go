@@ -1,0 +1,47 @@
+package sais
+
+import (
+	"bytes"
+	"sort"
+)
+
+// BuildNaive computes the suffix array by direct comparison sorting. It is
+// O(n^2 log n) in the worst case and exists to cross-check Build in tests and
+// as the obviously-correct reference implementation.
+func BuildNaive(s []byte) []int32 {
+	sa := make([]int32, len(s))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return bytes.Compare(s[sa[a]:], s[sa[b]:]) < 0
+	})
+	return sa
+}
+
+// Validate reports whether sa is the suffix array of s: a permutation of
+// [0,n) with suffixes in strictly increasing lexicographic order (the
+// implicit-sentinel convention makes all suffixes distinct).
+func Validate(s []byte, sa []int32) bool {
+	n := len(s)
+	if len(sa) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, p := range sa {
+		if p < 0 || int(p) >= n || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	for i := 1; i < n; i++ {
+		a, b := s[sa[i-1]:], s[sa[i]:]
+		c := bytes.Compare(a, b)
+		// With the implicit sentinel, a proper prefix sorts before the
+		// longer string, which bytes.Compare already reports as -1.
+		if c >= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+// Package sais constructs suffix arrays with the linear-time SA-IS algorithm
+// (Nong, Zhang, Chan: "Two Efficient Algorithms for Linear Time Suffix Array
+// Construction"). The suffix array orders all suffixes of the reference and
+// is the foundation of both the BWT/FM-index (seeding) and the suffix-array
+// lookup (SAL) kernel.
+package sais
+
+// Build computes the suffix array of s: Build(s)[i] is the start position of
+// the i-th lexicographically smallest suffix of s. The implicit sentinel
+// convention of BWA is used: a virtual terminator smaller than every symbol
+// ends the string but is not included in the result, so the result has
+// exactly len(s) entries.
+func Build(s []byte) []int32 {
+	n := len(s)
+	switch n {
+	case 0:
+		return []int32{}
+	case 1:
+		return []int32{0}
+	}
+	// Shift the alphabet up by one so 0 is free for the sentinel, then run
+	// SA-IS on s+[0]. The sentinel suffix sorts first and is stripped.
+	t := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		t[i] = int32(s[i]) + 1
+	}
+	t[n] = 0
+	sa := make([]int32, n+1)
+	saisRec(t, sa, 257)
+	return sa[1:]
+}
+
+// saisRec computes the suffix array of s into sa (len(sa) == len(s)). s must
+// end with a unique smallest symbol (the sentinel) and use symbols in [0, k).
+func saisRec(s, sa []int32, k int32) {
+	n := len(s)
+	if n == 1 {
+		sa[0] = 0
+		return
+	}
+
+	// Classify each position as S-type (true) or L-type (false). The
+	// sentinel is S-type by definition.
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		isS[i] = s[i] < s[i+1] || (s[i] == s[i+1] && isS[i+1])
+	}
+
+	// LMS (left-most S) positions in text order. The sentinel position is
+	// always LMS because its predecessor is L-type.
+	var lms []int32
+	for i := 1; i < n; i++ {
+		if isS[i] && !isS[i-1] {
+			lms = append(lms, int32(i))
+		}
+	}
+	m := len(lms)
+	bkt := make([]int32, k)
+
+	// Stage 1: approximately sort LMS substrings — drop LMS positions at
+	// their bucket tails and induce.
+	for i := range sa {
+		sa[i] = -1
+	}
+	bucketTails(s, bkt)
+	for i := m - 1; i >= 0; i-- {
+		p := lms[i]
+		bkt[s[p]]--
+		sa[bkt[s[p]]] = p
+	}
+	induce(s, sa, isS, bkt)
+
+	// Compact the now-sorted LMS positions.
+	sortedLMS := make([]int32, 0, m)
+	for i := 0; i < n; i++ {
+		if p := sa[i]; p > 0 && isS[p] && !isS[p-1] {
+			sortedLMS = append(sortedLMS, p)
+		}
+	}
+
+	// Name LMS substrings; equal substrings share a name, so the names
+	// preserve the substring order.
+	names := make([]int32, n)
+	name := int32(0)
+	names[sortedLMS[0]] = 0
+	for i := 1; i < m; i++ {
+		if !lmsEqual(s, isS, int(sortedLMS[i-1]), int(sortedLMS[i])) {
+			name++
+		}
+		names[sortedLMS[i]] = name
+	}
+
+	// Reduced string: names of LMS substrings in text order. Its suffix
+	// array gives the true order of the LMS suffixes.
+	s1 := make([]int32, m)
+	for i, p := range lms {
+		s1[i] = names[p]
+	}
+	sa1 := make([]int32, m)
+	if int(name)+1 < m {
+		saisRec(s1, sa1, name+1)
+	} else {
+		// All names distinct: the suffix order is the inverse permutation.
+		for i, nm := range s1 {
+			sa1[nm] = int32(i)
+		}
+	}
+
+	// Stage 2: place LMS suffixes at bucket tails in their final order
+	// (right to left keeps ties stable) and induce the full suffix array.
+	for i := range sa {
+		sa[i] = -1
+	}
+	bucketTails(s, bkt)
+	for i := m - 1; i >= 0; i-- {
+		p := lms[sa1[i]]
+		bkt[s[p]]--
+		sa[bkt[s[p]]] = p
+	}
+	induce(s, sa, isS, bkt)
+}
+
+// bucketTails fills bkt[c] with the index one past the last slot of symbol
+// c's bucket.
+func bucketTails(s []int32, bkt []int32) {
+	for i := range bkt {
+		bkt[i] = 0
+	}
+	for _, c := range s {
+		bkt[c]++
+	}
+	var sum int32
+	for i := range bkt {
+		sum += bkt[i]
+		bkt[i] = sum
+	}
+}
+
+// bucketHeads fills bkt[c] with the index of the first slot of symbol c's
+// bucket.
+func bucketHeads(s []int32, bkt []int32) {
+	for i := range bkt {
+		bkt[i] = 0
+	}
+	for _, c := range s {
+		bkt[c]++
+	}
+	var sum int32
+	for i := range bkt {
+		cnt := bkt[i]
+		bkt[i] = sum
+		sum += cnt
+	}
+}
+
+// induce performs the two induced-sorting scans that place L-type then S-type
+// suffixes, given LMS suffixes already seeded in sa.
+func induce(s, sa []int32, isS []bool, bkt []int32) {
+	n := len(s)
+	bucketHeads(s, bkt)
+	for i := 0; i < n; i++ {
+		if j := sa[i] - 1; sa[i] > 0 && !isS[j] {
+			sa[bkt[s[j]]] = j
+			bkt[s[j]]++
+		}
+	}
+	bucketTails(s, bkt)
+	for i := n - 1; i >= 0; i-- {
+		if j := sa[i] - 1; sa[i] > 0 && isS[j] {
+			bkt[s[j]]--
+			sa[bkt[s[j]]] = j
+		}
+	}
+}
+
+// lmsEqual reports whether the LMS substrings starting at a and b are equal.
+// An LMS substring spans from its LMS position to the next LMS position,
+// inclusive. The sentinel's LMS substring is unique.
+func lmsEqual(s []int32, isS []bool, a, b int) bool {
+	n := len(s)
+	if a == n-1 || b == n-1 {
+		return a == b
+	}
+	for i := 0; ; i++ {
+		if s[a+i] != s[b+i] || isS[a+i] != isS[b+i] {
+			return false
+		}
+		if i > 0 {
+			aLMS := isS[a+i] && !isS[a+i-1]
+			bLMS := isS[b+i] && !isS[b+i-1]
+			if aLMS || bLMS {
+				return aLMS && bLMS
+			}
+		}
+	}
+}

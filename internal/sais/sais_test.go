@@ -1,0 +1,136 @@
+package sais
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildTrivial(t *testing.T) {
+	if got := Build(nil); len(got) != 0 {
+		t.Errorf("Build(nil) = %v", got)
+	}
+	if got := Build([]byte{7}); !eq(got, []int32{0}) {
+		t.Errorf("Build(single) = %v", got)
+	}
+}
+
+func TestBuildKnown(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int32
+	}{
+		// banana: suffixes sorted: a(5) ana(3) anana(1) banana(0) na(4) nana(2)
+		{"banana", []int32{5, 3, 1, 0, 4, 2}},
+		{"aaaa", []int32{3, 2, 1, 0}},
+		{"abab", []int32{2, 0, 3, 1}},
+		{"mississippi", []int32{10, 7, 4, 1, 0, 9, 8, 6, 3, 5, 2}},
+		// The paper's Figure 1 example without its explicit '$': ATACGAC.
+		// Suffixes: AC(5) ACGAC(2) ATACGAC(0) C(6) CGAC(3) GAC(4) TACGAC(1)
+		{"ATACGAC", []int32{5, 2, 0, 6, 3, 4, 1}},
+	}
+	for _, c := range cases {
+		got := Build([]byte(c.in))
+		if !eq(got, c.want) {
+			t.Errorf("Build(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBuildMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabets := [][]byte{
+		{0, 1, 2, 3},            // DNA codes
+		{0},                     // unary
+		{0, 1},                  // binary — stresses LMS naming ties
+		{'a', 'b', 'c', 'z', 0}, // sparse bytes incl. zero
+	}
+	for trial := 0; trial < 200; trial++ {
+		ab := alphabets[trial%len(alphabets)]
+		n := rng.Intn(300)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = ab[rng.Intn(len(ab))]
+		}
+		got := Build(s)
+		if !Validate(s, got) {
+			t.Fatalf("trial %d: Build produced invalid SA for %v: %v", trial, s, got)
+		}
+		want := BuildNaive(s)
+		if !eq(got, want) {
+			t.Fatalf("trial %d: Build=%v naive=%v for %v", trial, got, want, s)
+		}
+	}
+}
+
+func TestBuildQuickDNA(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = b & 3
+		}
+		return Validate(s, Build(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildLongRepetitive(t *testing.T) {
+	// Highly repetitive input forces deep SA-IS recursion.
+	var s []byte
+	for i := 0; i < 2000; i++ {
+		s = append(s, byte(i%3), byte(i%3), 1)
+	}
+	if !Validate(s, Build(s)) {
+		t.Fatal("invalid SA on repetitive input")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	s := []byte("banana")
+	good := Build(s)
+	bad := append([]int32(nil), good...)
+	bad[0], bad[1] = bad[1], bad[0]
+	if Validate(s, bad) {
+		t.Error("Validate accepted out-of-order SA")
+	}
+	dup := append([]int32(nil), good...)
+	dup[2] = dup[3]
+	if Validate(s, dup) {
+		t.Error("Validate accepted non-permutation")
+	}
+	if Validate(s, good[:4]) {
+		t.Error("Validate accepted wrong length")
+	}
+	oob := append([]int32(nil), good...)
+	oob[0] = 99
+	if Validate(s, oob) {
+		t.Error("Validate accepted out-of-range entry")
+	}
+}
+
+func BenchmarkBuild1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	s := make([]byte, 1<<20)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(s)
+	}
+}

@@ -1,0 +1,121 @@
+// Package sal implements the suffix-array lookup (SAL) kernel, the second of
+// the paper's three hot kernels: converting SA-interval rows produced by
+// SMEM seeding into reference coordinates.
+//
+// Two designs are provided, matching §4.5 of the paper:
+//
+//   - CompressedSA is original BWA-MEM's design: only every intv-th entry of
+//     the suffix array is stored; the rest are recovered by walking the LF
+//     mapping until a sampled row is hit. Each walk step costs an
+//     occurrence-table access, which is why the paper measures ~5,190
+//     instructions per lookup at compression factor 128.
+//
+//   - FlatSA is the paper's optimization: the uncompressed suffix array,
+//     answering every lookup with a single array read (Equation 1). It
+//     trades memory (about 48 GB for a human genome in the paper; megabytes
+//     at this reproduction's scale) for a ~183x kernel speedup.
+package sal
+
+import (
+	"fmt"
+
+	"repro/internal/fmindex"
+	"repro/internal/trace"
+)
+
+// DefaultCompression is the compression factor the paper attributes to
+// BWA-MEM (§4.5).
+const DefaultCompression = 128
+
+// Lookuper answers suffix-array queries: the reference coordinate of a
+// full-matrix row. Both kernel designs implement it.
+type Lookuper interface {
+	Lookup(row int) int
+	MemFootprint() int
+}
+
+// FlatSA is the optimized, uncompressed suffix array (Equation 1).
+type FlatSA struct {
+	sa []int32
+	tr *trace.Tracer
+}
+
+// NewFlat wraps a full-matrix suffix array (N+1 entries, row 0 = sentinel).
+func NewFlat(fullSA []int32) *FlatSA {
+	return &FlatSA{sa: fullSA}
+}
+
+// SetTracer installs (or removes) instrumentation.
+func (f *FlatSA) SetTracer(tr *trace.Tracer) { f.tr = tr }
+
+// Lookup returns the text position of the suffix at row: one array read.
+func (f *FlatSA) Lookup(row int) int {
+	if f.tr != nil {
+		f.tr.SALookups++
+		f.tr.Load(trace.SABase+uint64(row)*4, 4)
+	}
+	return int(f.sa[row])
+}
+
+// MemFootprint returns the table size in bytes.
+func (f *FlatSA) MemFootprint() int { return 4 * len(f.sa) }
+
+// CompressedSA is the baseline sampled suffix array.
+type CompressedSA struct {
+	intv    int
+	samples []int32
+	rows    int // N+1
+	idx     *fmindex.Index
+	tr      *trace.Tracer
+}
+
+// NewCompressed samples every intv-th row of the full suffix array. The
+// index provides the LF mapping used to recover unsampled rows; it must be
+// the index of the same text.
+func NewCompressed(fullSA []int32, intv int, idx *fmindex.Index) (*CompressedSA, error) {
+	if intv < 1 {
+		return nil, fmt.Errorf("sal: compression interval %d < 1", intv)
+	}
+	c := &CompressedSA{intv: intv, rows: len(fullSA), idx: idx}
+	c.samples = make([]int32, (len(fullSA)+intv-1)/intv)
+	for i := range c.samples {
+		c.samples[i] = fullSA[i*intv]
+	}
+	return c, nil
+}
+
+// SetTracer installs (or removes) instrumentation. LF-mapping steps also hit
+// the occurrence table, so for complete memory traces install the same
+// tracer on the underlying fmindex.Index.
+func (c *CompressedSA) SetTracer(tr *trace.Tracer) { c.tr = tr }
+
+// Lookup recovers the text position of the suffix at row by LF-walking to
+// the nearest sampled row (BWA's bwt_sa). Walks that cross the primary row
+// wrap through the sentinel, handled by the modular correction.
+func (c *CompressedSA) Lookup(row int) int {
+	if c.tr != nil {
+		c.tr.SALookups++
+	}
+	steps := 0
+	for row%c.intv != 0 {
+		row = c.idx.LF(row)
+		steps++
+		if c.tr != nil {
+			c.tr.LFSteps++
+		}
+	}
+	if c.tr != nil {
+		c.tr.Load(trace.SABase+uint64(row/c.intv)*4, 4)
+	}
+	v := int(c.samples[row/c.intv]) + steps
+	if v >= c.rows {
+		v -= c.rows
+	}
+	return v
+}
+
+// MemFootprint returns the table size in bytes.
+func (c *CompressedSA) MemFootprint() int { return 4 * len(c.samples) }
+
+// Interval returns the compression factor.
+func (c *CompressedSA) Interval() int { return c.intv }

@@ -1,0 +1,95 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Read is one sequencing read: name, ASCII bases, and per-base Phred+33
+// qualities (may be nil when synthesized without qualities).
+type Read struct {
+	Name string
+	Seq  []byte
+	Qual []byte
+}
+
+// ReadFastq parses all reads from 4-line-record FASTQ input.
+func ReadFastq(r io.Reader) ([]Read, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var reads []Read
+	recNo := 0
+	for {
+		header, err := readLine(br)
+		if err == io.EOF && len(header) == 0 {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("fastq: read: %w", err)
+		}
+		if len(header) == 0 {
+			continue // tolerate trailing blank lines
+		}
+		recNo++
+		if header[0] != '@' {
+			return nil, fmt.Errorf("fastq: record %d: header %q does not start with '@'", recNo, header)
+		}
+		s, err := readLine(br)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("fastq: record %d: %w", recNo, err)
+		}
+		plus, err := readLine(br)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("fastq: record %d: %w", recNo, err)
+		}
+		if len(plus) == 0 || plus[0] != '+' {
+			return nil, fmt.Errorf("fastq: record %d: separator line %q does not start with '+'", recNo, plus)
+		}
+		q, err := readLine(br)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("fastq: record %d: %w", recNo, err)
+		}
+		if len(q) != len(s) {
+			return nil, fmt.Errorf("fastq: record %d: quality length %d != sequence length %d", recNo, len(q), len(s))
+		}
+		name, _ := splitHeader(header[1:])
+		reads = append(reads, Read{Name: name, Seq: s, Qual: q})
+		if err == io.EOF {
+			break
+		}
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("fastq: no records")
+	}
+	return reads, nil
+}
+
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	line = bytes.TrimRight(line, "\r\n")
+	// Return a copy: ReadBytes already allocates, but trimming may alias.
+	return line, err
+}
+
+// WriteFastq writes reads in 4-line FASTQ format. Reads without qualities get
+// a constant 'I' (Q40) quality string.
+func WriteFastq(w io.Writer, reads []Read) error {
+	bw := bufio.NewWriter(w)
+	for _, rd := range reads {
+		bw.WriteByte('@')
+		bw.WriteString(rd.Name)
+		bw.WriteByte('\n')
+		bw.Write(rd.Seq)
+		bw.WriteString("\n+\n")
+		if rd.Qual != nil {
+			bw.Write(rd.Qual)
+		} else {
+			for range rd.Seq {
+				bw.WriteByte('I')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,75 @@
+// Package trace carries the instrumentation shared by the kernel
+// reproductions: operation counters (the "# instructions"-style columns of
+// the paper's Tables 4, 5 and 7 are derived from these) and an optional
+// cache-hierarchy simulator that replays the kernels' memory-access streams
+// (the LLC-miss and average-latency columns).
+//
+// A nil *Tracer disables all instrumentation; kernels guard every hook with
+// a nil check so the fast paths stay fast.
+package trace
+
+import "repro/internal/memsim"
+
+// Synthetic address-space bases for the simulated data structures. Each
+// structure lives in its own region so streams interleave realistically in
+// the cache model.
+const (
+	OccBase uint64 = 1 << 33
+	SABase  uint64 = 2 << 33
+	RefBase uint64 = 3 << 33
+	BWTBase uint64 = 4 << 33
+)
+
+// Tracer accumulates operation counts and, when Mem is non-nil, drives the
+// cache simulator. It is not safe for concurrent use; trace single-threaded
+// kernel runs only.
+type Tracer struct {
+	Mem            *memsim.Hierarchy
+	EnablePrefetch bool // honor software-prefetch hints (paper Alg. 4)
+
+	// SMEM kernel counters.
+	OccCalls   int64 // occurrence-table computations (one per bucket visit)
+	OccWords   int64 // machine words scanned inside buckets
+	OccBases   int64 // BWT symbol slots covered by those words
+	Extends    int64 // backward/forward extension operations
+	Prefetches int64 // software-prefetch hints issued
+
+	// SAL kernel counters.
+	SALookups int64 // suffix-array lookups requested
+	LFSteps   int64 // LF-mapping walk steps (compressed SA only)
+}
+
+// Load records a demand read against the cache model (if any).
+func (t *Tracer) Load(addr uint64, size int) {
+	if t.Mem != nil {
+		t.Mem.Load(addr, size)
+	}
+}
+
+// Store records a demand write against the cache model (if any).
+func (t *Tracer) Store(addr uint64, size int) {
+	if t.Mem != nil {
+		t.Mem.Store(addr, size)
+	}
+}
+
+// Prefetch records a software-prefetch hint. Hints are counted even when the
+// cache model is absent, and only warm the model when EnablePrefetch is set,
+// so the same instrumented kernel serves both the "optimized" and "optimized
+// minus software prefetching" configurations of Table 4.
+func (t *Tracer) Prefetch(addr uint64, size int) {
+	t.Prefetches++
+	if t.EnablePrefetch && t.Mem != nil {
+		t.Mem.PrefetchAddr(addr, size)
+	}
+}
+
+// ResetCounters zeroes the counters but leaves cache contents warm.
+func (t *Tracer) ResetCounters() {
+	mem := t.Mem
+	pf := t.EnablePrefetch
+	*t = Tracer{Mem: mem, EnablePrefetch: pf}
+	if mem != nil {
+		mem.ResetStats()
+	}
+}

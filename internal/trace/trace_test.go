@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func TestTracerWithoutModel(t *testing.T) {
+	tr := &Tracer{}
+	tr.Load(100, 8)  // no cache model: must not panic
+	tr.Store(200, 8) // likewise
+	tr.Prefetch(0, 64)
+	if tr.Prefetches != 1 {
+		t.Fatalf("prefetch count: %+v", tr)
+	}
+}
+
+func TestTracerDrivesModel(t *testing.T) {
+	tr := &Tracer{Mem: memsim.New(memsim.Scaled())}
+	tr.Load(OccBase, 64)
+	tr.Store(SABase, 4)
+	if tr.Mem.Stats.Loads != 1 || tr.Mem.Stats.Stores != 1 {
+		t.Fatalf("model stats: %+v", tr.Mem.Stats)
+	}
+}
+
+func TestPrefetchGating(t *testing.T) {
+	// Prefetch hints count but only warm the model when enabled.
+	tr := &Tracer{Mem: memsim.New(memsim.Scaled()), EnablePrefetch: false}
+	tr.Prefetch(OccBase, 64)
+	if tr.Prefetches != 1 || tr.Mem.Stats.Prefetches != 0 {
+		t.Fatalf("disabled prefetch should not reach the model: %+v", tr.Mem.Stats)
+	}
+	tr.EnablePrefetch = true
+	tr.Prefetch(OccBase, 64)
+	if tr.Mem.Stats.Prefetches != 1 {
+		t.Fatalf("enabled prefetch should reach the model: %+v", tr.Mem.Stats)
+	}
+	// The prefetched line now hits.
+	tr.Load(OccBase, 8)
+	if tr.Mem.Stats.HitsAt[0] != 1 {
+		t.Fatalf("load after prefetch should hit L1: %+v", tr.Mem.Stats)
+	}
+}
+
+func TestResetCountersKeepsCacheWarm(t *testing.T) {
+	tr := &Tracer{Mem: memsim.New(memsim.Scaled())}
+	tr.Load(OccBase, 8)
+	tr.OccCalls = 5
+	tr.ResetCounters()
+	if tr.OccCalls != 0 || tr.Mem.Stats.Loads != 0 {
+		t.Fatalf("counters not cleared: %+v %+v", tr, tr.Mem.Stats)
+	}
+	tr.Load(OccBase, 8)
+	if tr.Mem.Stats.HitsAt[0] != 1 {
+		t.Fatal("cache contents should survive ResetCounters")
+	}
+}
+
+func TestAddressRegionsDistinct(t *testing.T) {
+	regions := []uint64{OccBase, SABase, RefBase, BWTBase}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i] == regions[j] {
+				t.Fatal("address regions must be distinct")
+			}
+		}
+	}
+}
