@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race serve demo bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/server/ ./internal/pipeline/
+
+serve: ## run the alignment server on a synthetic genome
+	$(GO) run ./cmd/bwaserve -addr :8080 -synthetic 200000
+
+demo: ## in-process client/server round trip
+	$(GO) run ./examples/serverdemo
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

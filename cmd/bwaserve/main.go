@@ -1,0 +1,177 @@
+// Command bwaserve is the long-running alignment server: it loads (or
+// builds) the reference and FM-index once at startup, keeps them resident,
+// and serves single-end and paired-end alignment requests over HTTP,
+// multiplexing concurrent callers onto the paper's batch-staged pipeline.
+//
+//	bwaserve -addr :8080 ref.fa              serve a FASTA reference
+//	bwaserve -addr :8080 ref.fa.bwago        serve a prebuilt index
+//	bwaserve -addr :8080 -synthetic 200000   serve a synthetic genome (demo)
+//
+// Endpoints: POST /align, POST /align/paired, GET /healthz, GET /metrics.
+// SIGINT/SIGTERM drain gracefully: in-flight requests complete, new ones
+// are rejected with 503, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/seq"
+	"repro/internal/server"
+)
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "bwaserve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	fs := flag.NewFlagSet("bwaserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modeStr := fs.String("mode", "optimized", "implementation: baseline or optimized")
+	threads := fs.Int("t", 0, "worker threads (0 = NumCPU)")
+	batch := fs.Int("batch", core.DefaultBatchSize, "reads per batch / coalescing target")
+	maxInflight := fs.Int("max-inflight", core.DefaultMaxInFlightReads, "max reads admitted at once (429 beyond)")
+	maxRequest := fs.Int("max-request-reads", 0, "max reads per request (0 = max-inflight)")
+	maxReadLen := fs.Int("max-read-len", core.DefaultMaxReadLen, "max bases per read (413 beyond)")
+	linger := fs.Duration("linger", core.DefaultCoalesceLinger, "partial-batch coalescing window (negative disables)")
+	drain := fs.Duration("drain", core.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+	synthetic := fs.Int("synthetic", 0, "serve a synthetic genome of this many bp instead of a reference file")
+	seed := fs.Int64("seed", 42, "seed for -synthetic")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bwaserve [flags] <ref.fa[.bwago]>\n       bwaserve [flags] -synthetic <bp>\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	cfg := core.DefaultServerConfig()
+	cfg.Threads = *threads
+	cfg.BatchSize = *batch
+	cfg.MaxInFlightReads = *maxInflight
+	cfg.MaxReadsPerRequest = *maxRequest
+	cfg.MaxReadLen = *maxReadLen
+	cfg.CoalesceLinger = *linger
+	cfg.DrainTimeout = *drain
+	switch *modeStr {
+	case "baseline":
+		cfg.Mode = core.ModeBaseline
+	case "optimized":
+		cfg.Mode = core.ModeOptimized
+	default:
+		die(fmt.Errorf("unknown mode %q", *modeStr))
+	}
+
+	aln, err := buildAligner(fs.Args(), *synthetic, *seed, cfg.Mode)
+	if err != nil {
+		die(err)
+	}
+	srv, err := server.New(aln, cfg)
+	if err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "[bwaserve] index resident: %d contigs, %d bp; %d workers, batch %d, %s mode\n",
+		len(aln.Ref.Contigs), aln.Ref.Lpac(), srv.Config().Threads, srv.Config().BatchSize, cfg.Mode)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "[bwaserve] listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "[bwaserve] %v: draining (timeout %v)\n", sig, cfg.DrainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "[bwaserve]", err)
+		}
+		cancel()
+		// The HTTP connection drain gets its own budget: clients may still
+		// be reading large SAM responses the pipeline already produced.
+		hctx, hcancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		if err := httpSrv.Shutdown(hctx); err != nil {
+			fmt.Fprintln(os.Stderr, "[bwaserve]", err)
+		}
+		hcancel()
+		fmt.Fprintln(os.Stderr, "[bwaserve] bye")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			die(err)
+		}
+	}
+}
+
+// buildAligner resolves the reference source: a prebuilt .bwago index, a
+// FASTA file (indexed in memory), or a synthetic genome.
+func buildAligner(args []string, synthetic int, seed int64, mode core.Mode) (*core.Aligner, error) {
+	opts := core.DefaultOptions()
+	if synthetic > 0 {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("-synthetic and a reference path are mutually exclusive")
+		}
+		ref, err := datasets.Genome(datasets.DefaultGenome("synthetic", synthetic, seed))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "[bwaserve] generated synthetic genome: %d bp (seed %d)\n", synthetic, seed)
+		return core.NewAligner(ref, mode, opts)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected one reference path (or -synthetic); run with -h for usage")
+	}
+	path := args[0]
+	if strings.HasSuffix(path, ".bwago") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pi, err := core.ReadIndex(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "[bwaserve] loaded prebuilt index %s\n", path)
+		return core.NewAlignerFrom(pi, mode, opts)
+	}
+	// FASTA: prefer a sibling prebuilt index when present.
+	if f, err := os.Open(path + ".bwago"); err == nil {
+		defer f.Close()
+		pi, err := core.ReadIndex(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "[bwaserve] loaded prebuilt index %s.bwago\n", path)
+		return core.NewAlignerFrom(pi, mode, opts)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ref, err := seq.ReferenceFromFasta(f)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "[bwaserve] indexing %d bp in memory (build %s.bwago with `bwamem index` to skip this)\n",
+		ref.Lpac(), path)
+	start := time.Now()
+	aln, err := core.NewAligner(ref, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "[bwaserve] index built in %v\n", time.Since(start).Round(time.Millisecond))
+	return aln, nil
+}

@@ -10,6 +10,10 @@
 // design and the paper's architecture-aware redesign, with byte-identical
 // output between the two, plus the instrumentation (cache-hierarchy
 // simulator, operation counters, stage clocks) needed to regenerate every
-// table and figure of the paper's evaluation. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// table and figure of the paper's evaluation.
+//
+// Beyond the one-shot CLI (cmd/bwamem), the repository serves the same
+// pipeline as a long-lived HTTP service (internal/server, cmd/bwaserve)
+// that keeps the FM-index resident and coalesces concurrent requests into
+// the batch-staged workflow. See README.md for the server API.
 package repro

@@ -17,7 +17,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bsw"
 	"repro/internal/chain"
@@ -105,6 +107,100 @@ func DefaultOptions() Options {
 		MapQCoefLen:    50, MapQCoefFac: math.Log(50),
 		SACompression: 128,
 	}
+}
+
+// ServerConfig tunes one deployment of the long-running alignment server
+// (internal/server, cmd/bwaserve). It layers deployment knobs — pool size,
+// batching, admission control, shutdown — over the per-alignment Options.
+type ServerConfig struct {
+	// Threads is the worker-pool size the server schedules batches over.
+	// <= 0 means runtime.NumCPU (resolved by the server).
+	Threads int
+	// BatchSize is the reads-per-batch target of the batch-staged pipeline
+	// and of cross-request coalescing. <= 0 means 512.
+	BatchSize int
+	// Mode selects the aligner implementation (baseline or optimized).
+	Mode Mode
+
+	// MaxInFlightReads caps the reads admitted (queued or executing) across
+	// all requests; a request that would exceed it is rejected with 429.
+	// <= 0 means DefaultMaxInFlightReads.
+	MaxInFlightReads int
+	// MaxReadsPerRequest caps a single request's read count (413 beyond).
+	// <= 0 means MaxInFlightReads.
+	MaxReadsPerRequest int
+	// MaxReadLen caps a single read's length in bases (413 beyond):
+	// admission charges per read, so without this one giant read could
+	// occupy a worker far beyond its budgeted share. <= 0 means
+	// DefaultMaxReadLen.
+	MaxReadLen int
+
+	// CoalesceLinger is how long a partial batch waits for reads from other
+	// requests before being flushed to the pool. 0 means 500µs; negative
+	// disables lingering (every partial batch flushes immediately).
+	CoalesceLinger time.Duration
+
+	// DrainTimeout bounds graceful shutdown's wait for in-flight requests.
+	// <= 0 means 30s.
+	DrainTimeout time.Duration
+}
+
+// Deployment defaults (shared by the server config and the pipeline's
+// zero-value resolution).
+const (
+	DefaultBatchSize        = 512
+	DefaultMaxInFlightReads = 1 << 16
+	DefaultMaxReadLen       = 1 << 16
+	DefaultCoalesceLinger   = 500 * time.Microsecond
+	DefaultDrainTimeout     = 30 * time.Second
+)
+
+// DefaultServerConfig returns the deployment defaults (optimized mode,
+// NumCPU workers resolved at server start).
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		BatchSize:        DefaultBatchSize,
+		Mode:             ModeOptimized,
+		MaxInFlightReads: DefaultMaxInFlightReads,
+		CoalesceLinger:   DefaultCoalesceLinger,
+		DrainTimeout:     DefaultDrainTimeout,
+	}
+}
+
+// Normalize resolves zero values to defaults and validates the result.
+func (c *ServerConfig) Normalize(numCPU int) error {
+	if c.Threads <= 0 {
+		c.Threads = numCPU
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.MaxInFlightReads <= 0 {
+		c.MaxInFlightReads = DefaultMaxInFlightReads
+	}
+	if c.MaxReadsPerRequest <= 0 {
+		c.MaxReadsPerRequest = c.MaxInFlightReads
+	}
+	if c.MaxReadLen <= 0 {
+		c.MaxReadLen = DefaultMaxReadLen
+	}
+	if c.CoalesceLinger == 0 {
+		c.CoalesceLinger = DefaultCoalesceLinger
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.Mode != ModeBaseline && c.Mode != ModeOptimized {
+		return fmt.Errorf("core: unknown server mode %d", c.Mode)
+	}
+	if c.MaxReadsPerRequest > c.MaxInFlightReads {
+		return fmt.Errorf("core: MaxReadsPerRequest %d exceeds MaxInFlightReads %d",
+			c.MaxReadsPerRequest, c.MaxInFlightReads)
+	}
+	return nil
 }
 
 // chainOpts derives the chaining parameter block.

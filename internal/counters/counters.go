@@ -53,6 +53,14 @@ func (c *StageClock) Merge(src *StageClock) {
 	}
 }
 
+// Sub removes src's time from c (the inverse of Merge, for computing the
+// delta between two snapshots of a shared clock).
+func (c *StageClock) Sub(src *StageClock) {
+	for i := range c.T {
+		c.T[i] -= src.T[i]
+	}
+}
+
 // Total returns the summed stage time.
 func (c *StageClock) Total() time.Duration {
 	var t time.Duration

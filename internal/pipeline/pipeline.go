@@ -16,7 +16,6 @@
 package pipeline
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,13 +54,24 @@ type Result struct {
 	Clock counters.StageClock // merged per-stage time across workers
 }
 
-// Run maps all reads and returns their SAM records in input order.
+// Run maps all reads and returns their SAM records in input order, using an
+// ephemeral worker pool of cfg.Threads.
 func Run(a *core.Aligner, reads []seq.Read, cfg Config) *Result {
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
+	s := NewScheduler(a, cfg.Threads)
+	defer s.Close()
+	return RunOn(s, reads, cfg)
+}
+
+// RunOn is Run over a caller-owned Scheduler (the alignment server shares
+// one warm pool across requests). cfg.Threads is ignored — the pool's size
+// governs. Result.Clock is the delta of the pool-wide clock across this
+// call: exact for an exclusive scheduler, but inflated by whatever else
+// runs on a shared one — use Scheduler.Clock for cumulative accounting
+// there and treat per-call clocks as approximate.
+func RunOn(s *Scheduler, reads []seq.Read, cfg Config) *Result {
+	a := s.Aligner()
 	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = 512
+		cfg.BatchSize = core.DefaultBatchSize
 	}
 	layout := cfg.Layout
 	if layout == LayoutAuto {
@@ -73,6 +83,7 @@ func Run(a *core.Aligner, reads []seq.Read, cfg Config) *Result {
 	}
 
 	start := time.Now()
+	clock0 := s.Clock()
 	// Encode all reads up front (IO/encoding is excluded from the paper's
 	// measurements; keep it out of the stage clocks too).
 	codes := make([][]byte, len(reads))
@@ -81,71 +92,60 @@ func Run(a *core.Aligner, reads []seq.Read, cfg Config) *Result {
 	}
 	perRead := make([][]byte, len(reads))
 
-	clocks := make([]counters.StageClock, cfg.Threads)
-	var wg sync.WaitGroup
 	switch layout {
 	case LayoutPerRead:
+		// One task per worker, each pulling read indices from a shared
+		// atomic counter: per-read channel dispatch would cost an
+		// allocation and a contended send per read, which is measurable
+		// noise in the baseline layout this path exists to measure.
 		var next int64 = -1
-		for w := 0; w < cfg.Threads; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				ws := &core.Workspace{Clock: &clocks[w]}
-				for {
-					i := int(atomic.AddInt64(&next, 1))
-					if i >= len(reads) {
-						return
-					}
-					regs := a.AlignRead(codes[i], ws)
-					t0 := time.Now()
-					perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs)
-					ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+		s.Each(s.Threads(), func(ws *core.Workspace, _ int) {
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(reads) {
+					return
 				}
-			}(w)
-		}
-	case LayoutBatched:
+				regs := a.AlignRead(codes[i], ws)
+				t0 := time.Now()
+				perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs)
+				ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+			}
+		})
+	default: // LayoutBatched
 		nBatches := (len(reads) + cfg.BatchSize - 1) / cfg.BatchSize
-		var next int64 = -1
-		for w := 0; w < cfg.Threads; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				ws := &core.Workspace{Clock: &clocks[w]}
-				for {
-					b := int(atomic.AddInt64(&next, 1))
-					if b >= nBatches {
-						return
-					}
-					lo := b * cfg.BatchSize
-					hi := lo + cfg.BatchSize
-					if hi > len(reads) {
-						hi = len(reads)
-					}
-					regs := a.AlignBatch(codes[lo:hi], ws)
-					t0 := time.Now()
-					for i := lo; i < hi; i++ {
-						perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs[i-lo])
-					}
-					ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
-				}
-			}(w)
-		}
+		s.Each(nBatches, func(ws *core.Workspace, b int) {
+			lo := b * cfg.BatchSize
+			hi := lo + cfg.BatchSize
+			if hi > len(reads) {
+				hi = len(reads)
+			}
+			regs := a.AlignBatch(codes[lo:hi], ws)
+			t0 := time.Now()
+			for i := lo; i < hi; i++ {
+				perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs[i-lo])
+			}
+			ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+		})
 	}
-	wg.Wait()
 
 	res := &Result{Reads: len(reads), Wall: time.Since(start)}
-	for i := range clocks {
-		res.Clock.Merge(&clocks[i])
-	}
+	res.Clock = s.Clock()
+	res.Clock.Sub(&clock0)
+	res.SAM = concatRecords(perRead)
+	return res
+}
+
+// concatRecords joins per-read record slices into one buffer sized up front.
+func concatRecords(perRead [][]byte) []byte {
 	n := 0
 	for _, r := range perRead {
 		n += len(r)
 	}
-	res.SAM = make([]byte, 0, n)
+	sam := make([]byte, 0, n)
 	for _, r := range perRead {
-		res.SAM = append(res.SAM, r...)
+		sam = append(sam, r...)
 	}
-	return res
+	return sam
 }
 
 // RunPaired maps read pairs (reads1[i] pairs with reads2[i]): both ends are
@@ -153,16 +153,25 @@ func Run(a *core.Aligner, reads []seq.Read, cfg Config) *Result {
 // distribution is inferred from confident pairs (mem_pestat), and each pair
 // is emitted with pairing applied (mem_sam_pe, without mate rescue).
 func RunPaired(a *core.Aligner, reads1, reads2 []seq.Read, cfg Config) *Result {
+	s := NewScheduler(a, cfg.Threads)
+	defer s.Close()
+	return RunPairedOn(s, reads1, reads2, cfg)
+}
+
+// RunPairedOn is RunPaired over a caller-owned Scheduler. cfg.Threads is
+// ignored — the pool's size governs. Pair statistics are inferred from this
+// call's pairs only, so output is independent of any concurrent work
+// sharing the scheduler. Result.Clock has RunOn's shared-scheduler caveat.
+func RunPairedOn(s *Scheduler, reads1, reads2 []seq.Read, cfg Config) *Result {
+	a := s.Aligner()
 	if len(reads1) != len(reads2) {
 		panic("pipeline: unequal pair lists")
 	}
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
 	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = 512
+		cfg.BatchSize = core.DefaultBatchSize
 	}
 	start := time.Now()
+	clock0 := s.Clock()
 	codes1 := make([][]byte, len(reads1))
 	codes2 := make([][]byte, len(reads2))
 	for i := range reads1 {
@@ -171,69 +180,47 @@ func RunPaired(a *core.Aligner, reads1, reads2 []seq.Read, cfg Config) *Result {
 	}
 	regs1 := make([][]core.Region, len(reads1))
 	regs2 := make([][]core.Region, len(reads2))
-	clocks := make([]counters.StageClock, cfg.Threads)
 
 	// Phase 1: align all ends (batched, dynamic distribution).
 	nBatches := (len(reads1) + cfg.BatchSize - 1) / cfg.BatchSize
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ws := &core.Workspace{Clock: &clocks[w]}
-			for {
-				b := int(atomic.AddInt64(&next, 1))
-				if b >= 2*nBatches {
-					return
-				}
-				end, bi := b/nBatches, b%nBatches
-				lo := bi * cfg.BatchSize
-				hi := lo + cfg.BatchSize
-				codes, regs := codes1, regs1
-				if end == 1 {
-					codes, regs = codes2, regs2
-				}
-				if hi > len(codes) {
-					hi = len(codes)
-				}
-				out := a.AlignBatch(codes[lo:hi], ws)
-				copy(regs[lo:hi], out)
-			}
-		}(w)
-	}
-	wg.Wait()
+	s.Each(2*nBatches, func(ws *core.Workspace, b int) {
+		end, bi := b/nBatches, b%nBatches
+		lo := bi * cfg.BatchSize
+		hi := lo + cfg.BatchSize
+		codes, regs := codes1, regs1
+		if end == 1 {
+			codes, regs = codes2, regs2
+		}
+		if hi > len(codes) {
+			hi = len(codes)
+		}
+		out := a.AlignBatch(codes[lo:hi], ws)
+		copy(regs[lo:hi], out)
+	})
 
 	// Phase 2: infer the insert-size distribution from all pairs.
 	ps := a.InferPairStats(regs1, regs2)
 
-	// Phase 3: pair and emit.
+	// Phase 3: pair and emit (per-pair dynamic distribution via a shared
+	// counter, as in RunOn's per-read layout).
 	perPair := make([][]byte, len(reads1))
-	next = -1
-	for w := 0; w < cfg.Threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(reads1) {
-					return
-				}
-				t0 := time.Now()
-				perPair[i] = a.AppendSAMPair(nil, &ps, &reads1[i], &reads2[i],
-					codes1[i], codes2[i], regs1[i], regs2[i])
-				clocks[w].Add(counters.StageSAMForm, time.Since(t0))
+	var next int64 = -1
+	s.Each(s.Threads(), func(ws *core.Workspace, _ int) {
+		for {
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= len(reads1) {
+				return
 			}
-		}(w)
-	}
-	wg.Wait()
+			t0 := time.Now()
+			perPair[i] = a.AppendSAMPair(nil, &ps, &reads1[i], &reads2[i],
+				codes1[i], codes2[i], regs1[i], regs2[i])
+			ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+		}
+	})
 
 	res := &Result{Reads: 2 * len(reads1), Wall: time.Since(start)}
-	for i := range clocks {
-		res.Clock.Merge(&clocks[i])
-	}
-	for _, r := range perPair {
-		res.SAM = append(res.SAM, r...)
-	}
+	res.Clock = s.Clock()
+	res.Clock.Sub(&clock0)
+	res.SAM = concatRecords(perPair)
 	return res
 }

@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+)
+
+// Scheduler is the batch-staged work engine shared by the one-shot CLI
+// (Run/RunPaired build an ephemeral one per call) and the long-lived
+// alignment server (which keeps a single Scheduler for the process
+// lifetime). It owns a fixed pool of worker goroutines, each with its own
+// reusable core.Workspace (§3.2 of the paper: few large allocations, reused
+// across batches — and, in the server, across requests), pulling units of
+// work dynamically from a bounded queue. Concurrent submitters interleave
+// at task granularity, which is what lets the server multiplex many
+// requests over one warm index without oversubscribing the machine.
+type Scheduler struct {
+	aligner *core.Aligner
+	threads int
+	tasks   chan task
+	workers sync.WaitGroup
+	async   sync.WaitGroup // outstanding Go tasks, for Drain
+	clock   counters.AtomicClock
+}
+
+type task struct {
+	run  func(ws *core.Workspace)
+	done *sync.WaitGroup
+}
+
+// NewScheduler starts a pool of threads workers over the aligner.
+// threads <= 0 means 1. Close must be called to release the workers.
+func NewScheduler(a *core.Aligner, threads int) *Scheduler {
+	if threads <= 0 {
+		threads = 1
+	}
+	s := &Scheduler{
+		aligner: a,
+		threads: threads,
+		tasks:   make(chan task, 4*threads),
+	}
+	for w := 0; w < threads; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.workers.Done()
+	var clock, flushed counters.StageClock
+	ws := &core.Workspace{Clock: &clock}
+	for t := range s.tasks {
+		t.run(ws)
+		// Publish stage time before signalling completion so a caller that
+		// returns from Each/Drain observes its own work in Clock().
+		s.clock.AddDelta(&clock, &flushed)
+		if t.done != nil {
+			t.done.Done()
+		}
+	}
+}
+
+// Aligner returns the aligner the pool serves.
+func (s *Scheduler) Aligner() *core.Aligner { return s.aligner }
+
+// Threads returns the worker count.
+func (s *Scheduler) Threads() int { return s.threads }
+
+// Clock returns a snapshot of the per-stage time accumulated by all workers
+// since the scheduler started. Safe to call concurrently with running work.
+func (s *Scheduler) Clock() counters.StageClock { return s.clock.Snapshot() }
+
+// Each runs fn(ws, i) for every i in [0,n), distributed dynamically across
+// the worker pool, and blocks until all n calls complete. Multiple Each
+// calls may be in flight concurrently; their tasks interleave. fn must not
+// itself call Each or Go (workers executing tasks would deadlock on a full
+// queue).
+func (s *Scheduler) Each(n int, fn func(ws *core.Workspace, i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.tasks <- task{run: func(ws *core.Workspace) { fn(ws, i) }, done: &wg}
+	}
+	wg.Wait()
+}
+
+// Go submits one task without waiting for it. It may block briefly when the
+// task queue is full (backpressure). Use Drain to wait for all Go tasks.
+func (s *Scheduler) Go(fn func(ws *core.Workspace)) {
+	s.async.Add(1)
+	s.tasks <- task{run: fn, done: &s.async}
+}
+
+// Drain blocks until every task submitted with Go has completed.
+func (s *Scheduler) Drain() { s.async.Wait() }
+
+// Close waits for queued tasks to finish and stops the workers. No Each or
+// Go may be started after (or concurrently with) Close.
+func (s *Scheduler) Close() {
+	close(s.tasks)
+	s.workers.Wait()
+}

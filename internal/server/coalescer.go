@@ -1,0 +1,194 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/pipeline"
+	"repro/internal/seq"
+)
+
+// coalescer merges reads from concurrent single-end requests into shared
+// batches of the configured size before handing them to the scheduler.
+// This is the server-side analogue of the paper's batch-staged workflow:
+// the batched kernels only pay off when batches are full, and a service
+// dominated by small requests would otherwise run them nearly empty. Reads
+// are flattened into one pending queue in arrival order; every full batch
+// is cut and submitted immediately, and a partial tail lingers briefly
+// (CoalesceLinger) for company from the next request before being flushed.
+//
+// Output routing is per read: each read carries a pointer to its slot in
+// the owning request's result slice, so a batch may interleave many
+// requests while every request still gets its records in input order —
+// byte-identical to a dedicated pipeline.Run over just its reads (batch
+// composition never affects a read's SAM record; that is the pipeline's
+// layout-invariance property).
+//
+// Paired-end requests are NOT coalesced across requests: insert-size
+// statistics are inferred per request (as RunPaired infers them per run),
+// so merging would change pairing decisions. They share the scheduler's
+// worker pool instead (see Server.handleAlignPaired).
+type coalescer struct {
+	sched  *pipeline.Scheduler
+	batch  int
+	linger time.Duration // negative: flush partial batches immediately
+
+	mu         sync.Mutex
+	pend       []pendRead
+	timerArmed bool
+	draining   bool // flush every batch immediately (shutdown in progress)
+	closed     bool
+
+	// Stats for /metrics.
+	batches        atomic.Int64 // batches submitted to the pool
+	partialFlushes atomic.Int64 // batches flushed below the target size
+}
+
+// pendRead is one read awaiting batching, with its output slot and
+// completion callback.
+type pendRead struct {
+	rd   *seq.Read
+	code []byte
+	out  *[]byte
+	done func()
+}
+
+func newCoalescer(sched *pipeline.Scheduler, batchSize int, linger time.Duration) *coalescer {
+	return &coalescer{sched: sched, batch: batchSize, linger: linger}
+}
+
+// Align maps reads and returns one SAM record slice per read, in input
+// order. It blocks until every read has been aligned. Returns errDraining
+// after Close.
+func (c *coalescer) Align(reads []seq.Read) ([][]byte, error) {
+	slots := make([][]byte, len(reads))
+	if len(reads) == 0 {
+		return slots, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(reads))
+	pend := make([]pendRead, len(reads))
+	for i := range reads {
+		// Encoding stays outside the stage clocks, mirroring pipeline.Run.
+		pend[i] = pendRead{rd: &reads[i], code: seq.Encode(reads[i].Seq),
+			out: &slots[i], done: wg.Done}
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errDraining
+	}
+	c.pend = append(c.pend, pend...)
+	batches := c.cutLocked(c.linger < 0 || c.draining)
+	if len(c.pend) > 0 && c.linger >= 0 && !c.timerArmed {
+		c.timerArmed = true
+		time.AfterFunc(c.linger, c.flushPartial)
+	}
+	c.mu.Unlock()
+
+	c.submit(batches)
+	wg.Wait()
+	return slots, nil
+}
+
+// cutLocked removes every full batch from the pending queue — plus the
+// remainder when force is set — in one pass (one copy per batch, one
+// compaction), returning them oldest-first.
+func (c *coalescer) cutLocked(force bool) [][]pendRead {
+	k := len(c.pend) / c.batch * c.batch
+	if force {
+		k = len(c.pend)
+	}
+	if k == 0 {
+		return nil
+	}
+	batches := make([][]pendRead, 0, (k+c.batch-1)/c.batch)
+	for lo := 0; lo < k; lo += c.batch {
+		hi := lo + c.batch
+		if hi > k {
+			hi = k
+		}
+		// Copy so future appends to c.pend cannot alias the batch.
+		b := make([]pendRead, hi-lo)
+		copy(b, c.pend[lo:hi])
+		batches = append(batches, b)
+	}
+	n := copy(c.pend, c.pend[k:])
+	tail := c.pend[n:]
+	for i := range tail {
+		tail[i] = pendRead{} // drop references so held reads can be collected
+	}
+	c.pend = c.pend[:n]
+	return batches
+}
+
+// flushPartial is the linger-timer callback: whatever is pending goes out
+// as one (possibly undersized) batch.
+func (c *coalescer) flushPartial() {
+	c.mu.Lock()
+	c.timerArmed = false
+	var batches [][]pendRead
+	if !c.closed {
+		batches = c.cutLocked(true)
+	}
+	c.mu.Unlock()
+	c.submit(batches)
+}
+
+// submit hands cut batches to the worker pool. Called without the lock:
+// Scheduler.Go applies backpressure when the bounded task queue is full,
+// and blocking here must not stall other requests' batch cutting.
+func (c *coalescer) submit(batches [][]pendRead) {
+	for _, b := range batches {
+		b := b
+		c.batches.Add(1)
+		if len(b) < c.batch {
+			c.partialFlushes.Add(1)
+		}
+		c.sched.Go(func(ws *core.Workspace) { c.runBatch(b, ws) })
+	}
+}
+
+// runBatch executes one coalesced batch on a pool worker: batch-staged
+// alignment, then per-read SAM formatting into each read's own slot.
+func (c *coalescer) runBatch(batch []pendRead, ws *core.Workspace) {
+	a := c.sched.Aligner()
+	codes := make([][]byte, len(batch))
+	for i := range batch {
+		codes[i] = batch[i].code
+	}
+	regs := a.AlignBatch(codes, ws)
+	t0 := time.Now()
+	for i := range batch {
+		*batch[i].out = a.AppendSAM(nil, batch[i].rd, batch[i].code, regs[i])
+		batch[i].done()
+	}
+	ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+}
+
+// SetDraining flushes the pending partial batch immediately and makes every
+// future batch flush without lingering, so graceful shutdown never waits
+// out a coalescing window (which may be configured longer than the drain
+// timeout). Already-admitted Align calls still complete.
+func (c *coalescer) SetDraining() {
+	c.mu.Lock()
+	c.draining = true
+	batches := c.cutLocked(true)
+	c.mu.Unlock()
+	c.submit(batches)
+}
+
+// Close flushes any pending partial batch, rejects future Align calls, and
+// waits for all submitted batches to finish on the pool.
+func (c *coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	batches := c.cutLocked(true)
+	c.mu.Unlock()
+	c.submit(batches)
+	c.sched.Drain()
+}

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/seq"
+)
+
+// maxBodyBytes is the hard ceiling on request bodies. The effective limit
+// is derived per deployment from the resolved ServerConfig (see
+// requestBodyLimit) so a parse can never materialize far more reads than
+// admission would accept.
+const maxBodyBytes = 1 << 30
+
+// requestBodyLimit bounds a request body by what the read caps could
+// legitimately need: MaxReadsPerRequest reads of MaxReadLen bases each,
+// with headroom for names, qualities, and JSON quoting.
+func requestBodyLimit(maxReads, maxReadLen int) int64 {
+	per := 2*int64(maxReadLen) + 512
+	limit := int64(maxReads) * per
+	if limit <= 0 || limit > maxBodyBytes {
+		limit = maxBodyBytes
+	}
+	return limit
+}
+
+// jsonRead is the wire form of one read in JSON request bodies.
+type jsonRead struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+	Qual string `json:"qual,omitempty"`
+}
+
+type singleRequest struct {
+	Reads []jsonRead `json:"reads"`
+}
+
+type pairedRequest struct {
+	Reads1 []jsonRead `json:"reads1"`
+	Reads2 []jsonRead `json:"reads2"`
+}
+
+func fromJSONReads(in []jsonRead) []seq.Read {
+	out := make([]seq.Read, len(in))
+	for i, r := range in {
+		out[i] = seq.Read{Name: r.Name, Seq: []byte(r.Seq)}
+		if r.Qual != "" {
+			out[i].Qual = []byte(r.Qual)
+		}
+	}
+	return out
+}
+
+// errReadTooLong marks a policy rejection (mapped to 413) rather than a
+// malformed input (400).
+var errReadTooLong = errors.New("read exceeds length limit")
+
+// validateReads enforces the input policy on every parse path (JSON and
+// FASTQ alike): SAM emits name/seq/qual verbatim, so whitespace or control
+// bytes in any of them would let a caller inject extra SAM fields or
+// records into the response — an empty sequence produces a record no SAM
+// parser accepts — and admission charges per read, so a length cap keeps
+// one giant read from occupying a worker far beyond its budgeted share.
+func validateReads(reads []seq.Read, maxLen int) error {
+	for i := range reads {
+		r := &reads[i]
+		if len(r.Seq) == 0 {
+			return fmt.Errorf("read %d (%q): empty sequence", i, r.Name)
+		}
+		if len(r.Seq) > maxLen {
+			return fmt.Errorf("read %d (%q): %d bases, limit %d: %w", i, r.Name, len(r.Seq), maxLen, errReadTooLong)
+		}
+		if !validName(r.Name) {
+			return fmt.Errorf("read %d: name %q is not a valid SAM query name", i, r.Name)
+		}
+		if !validSeq(r.Seq) {
+			return fmt.Errorf("read %d (%q): sequence contains characters outside the SAM SEQ alphabet", i, r.Name)
+		}
+		if r.Qual != nil {
+			if len(r.Qual) != len(r.Seq) {
+				return fmt.Errorf("read %d (%q): quality length %d != sequence length %d",
+					i, r.Name, len(r.Qual), len(r.Seq))
+			}
+			if !printable(r.Qual) {
+				return fmt.Errorf("read %d (%q): quality contains non-printable characters", i, r.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// printable reports whether s holds only graphic ASCII (the character set
+// SAM fields may carry).
+func printable(s []byte) bool {
+	for _, b := range s {
+		if b < '!' || b > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// validSeq enforces the SAM SEQ grammar, [A-Za-z=.]+ (SAM output carries
+// the sequence verbatim, so anything else would make the response
+// unparseable downstream).
+func validSeq(s []byte) bool {
+	for _, b := range s {
+		switch {
+		case b >= 'A' && b <= 'Z', b >= 'a' && b <= 'z', b == '=', b == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validName enforces the SAM QNAME grammar, [!-?A-~]{1,254}: graphic
+// ASCII excluding '@', which would let a record's first field masquerade
+// as a header line.
+func validName(s string) bool {
+	if len(s) == 0 || len(s) > 254 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '!' || s[i] > '~' || s[i] == '@' {
+			return false
+		}
+	}
+	return true
+}
+
+// isJSON reports whether the request body is JSON; any other content type
+// (text/plain, application/x-fastq, none) is treated as raw FASTQ.
+func isJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && (mt == "application/json" || strings.HasSuffix(mt, "+json"))
+}
+
+// wantHeader reports whether the response should start with the SAM header
+// (default yes; ?header=0 yields records only, byte-identical to
+// pipeline.Run's Result.SAM).
+func wantHeader(r *http.Request) bool {
+	v := r.URL.Query().Get("header")
+	return v != "0" && v != "false"
+}
+
+// parseSingle extracts and validates the read set of a single-end request.
+func (s *Server) parseSingle(r *http.Request) ([]seq.Read, error) {
+	var reads []seq.Read
+	if isJSON(r) {
+		var req singleRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("json: %w", err)
+		}
+		reads = fromJSONReads(req.Reads)
+	} else {
+		var err error
+		if reads, err = seq.ReadFastq(r.Body); err != nil {
+			return nil, err
+		}
+	}
+	if err := validateReads(reads, s.cfg.MaxReadLen); err != nil {
+		return nil, err
+	}
+	return reads, nil
+}
+
+// parsePaired extracts both read sets of a paired-end request. The raw
+// form is interleaved FASTQ (end 1 of pair 1, end 2 of pair 1, ...).
+func (s *Server) parsePaired(r *http.Request) (r1, r2 []seq.Read, err error) {
+	if isJSON(r) {
+		var req pairedRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, nil, fmt.Errorf("json: %w", err)
+		}
+		r1 = fromJSONReads(req.Reads1)
+		r2 = fromJSONReads(req.Reads2)
+	} else {
+		all, ferr := seq.ReadFastq(r.Body)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		if len(all)%2 != 0 {
+			return nil, nil, fmt.Errorf("interleaved FASTQ holds %d records (odd)", len(all))
+		}
+		r1 = make([]seq.Read, 0, len(all)/2)
+		r2 = make([]seq.Read, 0, len(all)/2)
+		for i := 0; i < len(all); i += 2 {
+			r1 = append(r1, all[i])
+			r2 = append(r2, all[i+1])
+		}
+	}
+	if len(r1) != len(r2) {
+		return nil, nil, fmt.Errorf("unequal pair lists: %d vs %d reads", len(r1), len(r2))
+	}
+	if err := validateReads(r1, s.cfg.MaxReadLen); err != nil {
+		return nil, nil, fmt.Errorf("reads1: %w", err)
+	}
+	if err := validateReads(r2, s.cfg.MaxReadLen); err != nil {
+		return nil, nil, fmt.Errorf("reads2: %w", err)
+	}
+	return r1, r2, nil
+}
+
+// rejectParse writes the response for a body that could not be accepted,
+// distinguishing size-policy rejections (413) from malformed input (400).
+func (s *Server) rejectParse(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.met.rejectedLarge.Add(1)
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	if errors.Is(err, errReadTooLong) {
+		s.met.rejectedLarge.Add(1)
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	s.met.badRequests.Add(1)
+	http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+}
+
+// admit runs the admission checks for n reads, writing the rejection
+// response itself when the request cannot proceed.
+func (s *Server) admit(w http.ResponseWriter, n int) bool {
+	if n == 0 {
+		s.met.badRequests.Add(1)
+		http.Error(w, "no reads in request", http.StatusBadRequest)
+		return false
+	}
+	if n > s.cfg.MaxReadsPerRequest {
+		s.met.rejectedLarge.Add(1)
+		http.Error(w, fmt.Sprintf("request holds %d reads, limit %d", n, s.cfg.MaxReadsPerRequest),
+			http.StatusRequestEntityTooLarge)
+		return false
+	}
+	switch err := s.adm.TryAcquire(n); err {
+	case nil:
+		return true
+	case errDraining:
+		s.met.rejectedDrain.Add(1)
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		return false
+	default: // errQueueFull
+		s.met.rejectedFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("admission queue full (%d reads in flight, limit %d)",
+			s.adm.InFlight(), s.cfg.MaxInFlightReads), http.StatusTooManyRequests)
+		return false
+	}
+}
+
+// writeSAM emits the response: optional header, then the record chunks.
+func (s *Server) writeSAM(w http.ResponseWriter, r *http.Request, chunks ...[]byte) {
+	w.Header().Set("Content-Type", "text/x-sam")
+	if wantHeader(r) {
+		fmt.Fprint(w, s.samHeader)
+	}
+	for _, c := range chunks {
+		s.met.samBytes.Add(int64(len(c)))
+		w.Write(c)
+	}
+}
+
+// handleAlign serves POST /align: single-end reads in (FASTQ or JSON), SAM
+// out. Concurrent requests are coalesced into shared batches.
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.met.badRequests.Add(1)
+		http.Error(w, "method not allowed (POST FASTQ or JSON)", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
+	reads, err := s.parseSingle(r)
+	if err != nil {
+		s.rejectParse(w, err)
+		return
+	}
+	if !s.admit(w, len(reads)) {
+		return
+	}
+	defer s.adm.Release(len(reads))
+	s.met.singleRequests.Add(1)
+	s.met.readsTotal.Add(int64(len(reads)))
+
+	records, err := s.coal.Align(reads)
+	if err != nil {
+		s.met.rejectedDrain.Add(1)
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.writeSAM(w, r, records...)
+}
+
+// handleAlignPaired serves POST /align/paired: pairs in (interleaved FASTQ
+// or JSON reads1/reads2), paired SAM out. Each request is one RunPaired
+// unit — insert-size statistics come from this request's pairs alone — but
+// its batches share the worker pool with everything else in flight.
+func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.met.badRequests.Add(1)
+		http.Error(w, "method not allowed (POST FASTQ or JSON)", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
+	r1, r2, err := s.parsePaired(r)
+	if err != nil {
+		s.rejectParse(w, err)
+		return
+	}
+	if !s.admit(w, len(r1)+len(r2)) {
+		return
+	}
+	defer s.adm.Release(len(r1) + len(r2))
+	s.met.pairedRequests.Add(1)
+	s.met.readsTotal.Add(int64(len(r1) + len(r2)))
+
+	res := pipeline.RunPairedOn(s.sched, r1, r2, pipeline.Config{BatchSize: s.cfg.BatchSize})
+	s.writeSAM(w, r, res.SAM)
+}

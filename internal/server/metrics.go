@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the server-level counters exposed on /metrics. Stage
+// timings come from the scheduler's AtomicClock; everything here is the
+// request-plane view (what came in, what was shed, what went out).
+type metrics struct {
+	start time.Time
+
+	singleRequests atomic.Int64 // accepted /align requests
+	pairedRequests atomic.Int64 // accepted /align/paired requests
+	rejectedFull   atomic.Int64 // 429: admission budget exceeded
+	rejectedLarge  atomic.Int64 // 413: request over MaxReadsPerRequest
+	rejectedDrain  atomic.Int64 // 503: shutting down
+	badRequests    atomic.Int64 // 400/405: malformed input
+	readsTotal     atomic.Int64 // reads accepted for alignment (pairs count 2)
+	samBytes       atomic.Int64 // SAM record bytes produced (headers excluded)
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now()}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.met
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "bwaserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "bwaserve_workers %d\n", s.sched.Threads())
+	fmt.Fprintf(w, "bwaserve_batch_size %d\n", s.cfg.BatchSize)
+	fmt.Fprintf(w, "bwaserve_requests_total{kind=%q} %d\n", "single", m.singleRequests.Load())
+	fmt.Fprintf(w, "bwaserve_requests_total{kind=%q} %d\n", "paired", m.pairedRequests.Load())
+	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "queue_full", m.rejectedFull.Load())
+	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "too_large", m.rejectedLarge.Load())
+	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "draining", m.rejectedDrain.Load())
+	fmt.Fprintf(w, "bwaserve_requests_bad_total %d\n", m.badRequests.Load())
+	fmt.Fprintf(w, "bwaserve_reads_total %d\n", m.readsTotal.Load())
+	fmt.Fprintf(w, "bwaserve_reads_inflight %d\n", s.adm.InFlight())
+	fmt.Fprintf(w, "bwaserve_sam_bytes_total %d\n", m.samBytes.Load())
+	fmt.Fprintf(w, "bwaserve_batches_total %d\n", s.coal.batches.Load())
+	fmt.Fprintf(w, "bwaserve_partial_batches_total %d\n", s.coal.partialFlushes.Load())
+	clock := s.sched.Clock()
+	clock.WriteMetrics(w, "bwaserve")
+}
+
+// handleHealthz reports liveness plus the numbers an orchestrator's probe
+// or a human wants at a glance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	status := "ok"
+	code := http.StatusOK
+	if s.draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	ref := s.sched.Aligner().Ref
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w,
+		`{"status":%q,"uptime_seconds":%.3f,"reads_inflight":%d,"workers":%d,"mode":%q,"contigs":%d,"reference_bp":%d}`+"\n",
+		status, time.Since(s.met.start).Seconds(), s.adm.InFlight(),
+		s.sched.Threads(), s.cfg.Mode.String(), len(ref.Contigs), ref.Lpac())
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission-control errors returned by admission.TryAcquire.
+var (
+	// errQueueFull means admitting the request would exceed the in-flight
+	// read budget; the caller maps it to HTTP 429.
+	errQueueFull = errors.New("server: admission queue full")
+	// errDraining means the server is shutting down; mapped to HTTP 503.
+	errDraining = errors.New("server: draining")
+)
+
+// admission is the server's load-shedding gate: a counting semaphore over
+// reads (not requests, so one huge request can't starve the budget
+// accounting) with a drain mode for graceful shutdown. Work admitted here
+// is guaranteed a slot in the bounded scheduler queue eventually; work
+// rejected here never touches the alignment pool, keeping tail latency of
+// admitted requests bounded under overload.
+type admission struct {
+	mu       sync.Mutex
+	max      int
+	inflight int
+	draining bool
+}
+
+func newAdmission(maxReads int) *admission {
+	return &admission{max: maxReads}
+}
+
+// TryAcquire admits n reads or reports why it can't. It never blocks:
+// under overload the right answer is an immediate 429, not a growing
+// backlog.
+func (q *admission) TryAcquire(n int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return errDraining
+	}
+	if q.inflight+n > q.max {
+		return errQueueFull
+	}
+	q.inflight += n
+	return nil
+}
+
+// Release returns n admitted reads to the budget.
+func (q *admission) Release(n int) {
+	q.mu.Lock()
+	q.inflight -= n
+	if q.inflight < 0 {
+		panic("server: admission release underflow")
+	}
+	q.mu.Unlock()
+}
+
+// InFlight returns the reads currently admitted.
+func (q *admission) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflight
+}
+
+// SetDraining flips the gate: all future TryAcquire calls fail with
+// errDraining while already-admitted work runs to completion.
+func (q *admission) SetDraining() {
+	q.mu.Lock()
+	q.draining = true
+	q.mu.Unlock()
+}
+
+// WaitIdle blocks until no reads are in flight, the deadline passes, or
+// ctx is cancelled, reporting whether the queue drained.
+func (q *admission) WaitIdle(ctx context.Context, deadline time.Time) bool {
+	for {
+		if q.InFlight() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBudget(t *testing.T) {
+	q := newAdmission(10)
+	if err := q.TryAcquire(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TryAcquire(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TryAcquire(1); err != errQueueFull {
+		t.Fatalf("over budget: got %v", err)
+	}
+	q.Release(4)
+	if err := q.TryAcquire(4); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if got := q.InFlight(); got != 10 {
+		t.Fatalf("inflight = %d", got)
+	}
+}
+
+func TestAdmissionDraining(t *testing.T) {
+	q := newAdmission(10)
+	if err := q.TryAcquire(3); err != nil {
+		t.Fatal(err)
+	}
+	q.SetDraining()
+	if err := q.TryAcquire(1); err != errDraining {
+		t.Fatalf("draining: got %v", err)
+	}
+	ctx := context.Background()
+	// WaitIdle times out while work is in flight...
+	if q.WaitIdle(ctx, time.Now().Add(10*time.Millisecond)) {
+		t.Fatal("WaitIdle succeeded with reads in flight")
+	}
+	// ...aborts promptly on context cancellation...
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	start := time.Now()
+	if q.WaitIdle(cancelled, time.Now().Add(5*time.Second)) {
+		t.Fatal("WaitIdle succeeded with cancelled context and reads in flight")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("WaitIdle ignored context cancellation")
+	}
+	// ...and returns once it drains.
+	done := make(chan bool, 1)
+	go func() { done <- q.WaitIdle(ctx, time.Now().Add(5*time.Second)) }()
+	q.Release(3)
+	if !<-done {
+		t.Fatal("WaitIdle failed after drain")
+	}
+}
+
+func TestAdmissionConcurrentAccounting(t *testing.T) {
+	q := newAdmission(1 << 30)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := q.TryAcquire(3); err != nil {
+					t.Error(err)
+					return
+				}
+				q.Release(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := q.InFlight(); got != 0 {
+		t.Fatalf("inflight = %d after balanced acquire/release", got)
+	}
+}

@@ -1,0 +1,130 @@
+// Package server is the long-lived alignment service layer: it loads the
+// reference and FM-index once, keeps them resident, and serves alignment
+// requests over HTTP by multiplexing them onto the paper's batch-staged
+// pipeline (internal/pipeline.Scheduler).
+//
+// The request path is: HTTP handler → admission control (bounded in-flight
+// reads, immediate 429 under overload) → cross-request batch coalescer →
+// shared worker pool with per-worker reusable scratch → per-read SAM
+// records routed back to each caller in input order. Responses are
+// byte-identical to a one-shot pipeline.Run / RunPaired over the same
+// reads, which is the subsystem's correctness contract and is enforced by
+// tests.
+//
+// Endpoints:
+//
+//	POST /align          single-end reads (raw FASTQ, or JSON {"reads":[...]})
+//	POST /align/paired   pairs (interleaved FASTQ, or JSON {"reads1":[...],"reads2":[...]})
+//	GET  /healthz        liveness + load summary (JSON)
+//	GET  /metrics        Prometheus text: request counters + per-stage kernel seconds
+//
+// SAM responses include the @SQ/@PG header by default; ?header=0 returns
+// records only.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Server is one alignment service instance over one resident index. Create
+// with New, expose via Handler, stop with Shutdown (drains) or Close.
+type Server struct {
+	cfg       core.ServerConfig
+	bodyLimit int64
+	samHeader string // constant for the server's lifetime; built once
+	sched     *pipeline.Scheduler
+	coal      *coalescer
+	adm       *admission
+	met       *metrics
+	mux       *http.ServeMux
+
+	drainFlag atomic.Bool
+	closed    atomic.Bool
+}
+
+// New builds a Server over an already-constructed aligner (the index stays
+// resident for the server's lifetime). cfg zero values resolve to
+// defaults. cfg.Mode is an aligner-construction knob for callers like
+// cmd/bwaserve; the server itself always follows the aligner it was given,
+// so New overwrites cfg.Mode with aln.Mode rather than trusting the
+// config (a zero ServerConfig would otherwise silently claim
+// ModeBaseline).
+func New(aln *core.Aligner, cfg core.ServerConfig) (*Server, error) {
+	cfg.Mode = aln.Mode
+	if err := cfg.Normalize(runtime.NumCPU()); err != nil {
+		return nil, err
+	}
+	sched := pipeline.NewScheduler(aln, cfg.Threads)
+	s := &Server{
+		cfg:       cfg,
+		bodyLimit: requestBodyLimit(cfg.MaxReadsPerRequest, cfg.MaxReadLen),
+		samHeader: aln.SAMHeader(),
+		sched:     sched,
+		coal:      newCoalescer(sched, cfg.BatchSize, cfg.CoalesceLinger),
+		adm:       newAdmission(cfg.MaxInFlightReads),
+		met:       newMetrics(),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/align", s.handleAlign)
+	s.mux.HandleFunc("/align/paired", s.handleAlignPaired)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Config returns the resolved deployment configuration.
+func (s *Server) Config() core.ServerConfig { return s.cfg }
+
+// Handler returns the HTTP entry point (also available as s itself).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) draining() bool { return s.drainFlag.Load() }
+
+// Shutdown drains gracefully: new work is rejected with 503 while admitted
+// requests run to completion, then the coalescer flushes and the worker
+// pool stops. It returns an error if in-flight work outlives the context
+// deadline (or cfg.DrainTimeout when the context has none); the pool is
+// left running in that case so stragglers stay safe, and Shutdown may be
+// called again.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainFlag.Store(true)
+	s.adm.SetDraining()
+	// Flush the coalescer's lingering partial batch now: admitted requests
+	// may be waiting on it, and the coalescing window can legitimately be
+	// configured longer than the drain timeout.
+	s.coal.SetDraining()
+	start := time.Now()
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(s.cfg.DrainTimeout)
+	}
+	if !s.adm.WaitIdle(ctx, deadline) {
+		return fmt.Errorf("server: %d reads still in flight after waiting %v to drain",
+			s.adm.InFlight(), time.Since(start).Round(time.Millisecond))
+	}
+	if s.closed.CompareAndSwap(false, true) {
+		s.coal.Close()
+		s.sched.Close()
+	}
+	return nil
+}
+
+// Close is Shutdown with the configured drain timeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
