@@ -8,8 +8,11 @@
 //	bwaserve -addr :8080 -synthetic 200000   serve a synthetic genome (demo)
 //
 // Endpoints: POST /align, POST /align/paired, GET /healthz, GET /metrics.
-// SIGINT/SIGTERM drain gracefully: in-flight requests complete, new ones
-// are rejected with 503, then the process exits.
+// Request bodies are decoded incrementally and SAM responses are streamed
+// back chunk by chunk as batches complete; a disconnected client's (or a
+// -request-timeout expired request's) unstarted work is dropped from the
+// queue. SIGINT/SIGTERM drain gracefully: in-flight requests complete, new
+// ones are rejected with 503, then the process exits.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 	maxRequest := fs.Int("max-request-reads", 0, "max reads per request (0 = max-inflight)")
 	maxReadLen := fs.Int("max-read-len", core.DefaultMaxReadLen, "max bases per read (413 beyond)")
 	linger := fs.Duration("linger", core.DefaultCoalesceLinger, "partial-batch coalescing window (negative disables)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request alignment deadline (0 = none)")
 	drain := fs.Duration("drain", core.DefaultDrainTimeout, "graceful-shutdown drain timeout")
 	synthetic := fs.Int("synthetic", 0, "serve a synthetic genome of this many bp instead of a reference file")
 	seed := fs.Int64("seed", 42, "seed for -synthetic")
@@ -61,6 +65,7 @@ func main() {
 	cfg.MaxReadsPerRequest = *maxRequest
 	cfg.MaxReadLen = *maxReadLen
 	cfg.CoalesceLinger = *linger
+	cfg.RequestTimeout = *reqTimeout
 	cfg.DrainTimeout = *drain
 	switch *modeStr {
 	case "baseline":

@@ -1,12 +1,15 @@
 // Serverdemo exercises the alignment server end to end as a client would:
 // it starts an in-process server over a synthetic genome, fires concurrent
 // single-end FASTQ and paired-end JSON requests at it over real HTTP,
-// prints a sample of the SAM that comes back, and finishes with the
-// server's own /metrics view of the traffic.
+// shows the response streaming (first SAM bytes arriving while the rest of
+// the request is still aligning) and a client disconnect freeing its
+// admission budget, and finishes with the server's own /metrics view.
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +18,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -107,7 +111,61 @@ func main() {
 	fmt.Printf("paired-end request: %d pairs -> %d SAM records\n",
 		len(r1), strings.Count(string(sam), "\n"))
 
-	// 4. The server's own view of what just happened.
+	// 4. Response streaming: one big request, read incrementally. The first
+	//    SAM bytes arrive while most of the request is still in the queue —
+	//    the server no longer buffers the whole response.
+	big := make([]seq.Read, 0, 20*len(reads))
+	for i := 0; i < 20; i++ {
+		big = append(big, reads...)
+	}
+	var bigBody bytes.Buffer
+	seq.WriteFastq(&bigBody, big)
+	t0 := time.Now()
+	resp, err = http.Post(base+"/align?header=0", "application/x-fastq", &bigBody)
+	if err != nil {
+		log.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadByte(); err != nil {
+		log.Fatal(err)
+	}
+	ttfb := time.Since(t0)
+	rest, _ := io.ReadAll(br)
+	total := time.Since(t0)
+	resp.Body.Close()
+	fmt.Printf("streaming: %d reads -> first byte after %v, full %d-byte SAM after %v\n",
+		len(big), ttfb.Round(time.Microsecond), len(rest)+1, total.Round(time.Microsecond))
+
+	// 5. Cancellation: a client that gives up mid-request has its queued
+	//    work dropped and its admission budget released. The deadline is
+	//    chosen to land after admission but well before alignment finishes.
+	ctx, cancel := context.WithTimeout(context.Background(), ttfb/2)
+	defer cancel()
+	var cancelBody bytes.Buffer
+	seq.WriteFastq(&cancelBody, big)
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/align?header=0", &cancelBody)
+	if cresp, err := http.DefaultClient.Do(req); err != nil {
+		fmt.Printf("cancelled client: %v\n", ctx.Err())
+	} else {
+		io.Copy(io.Discard, cresp.Body)
+		cresp.Body.Close()
+		fmt.Println("cancellation demo: request finished before the deadline fired (fast machine)")
+	}
+	// Let the server finish abandoning the request before reading /metrics.
+	for i := 0; i < 1000; i++ {
+		hr, err := http.Get(base + "/healthz")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hb, _ := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if strings.Contains(string(hb), `"reads_inflight":0`) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// 6. The server's own view of what just happened.
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -117,7 +175,8 @@ func main() {
 	fmt.Println("\n/metrics:")
 	for _, line := range strings.Split(strings.TrimSpace(string(metrics)), "\n") {
 		if strings.Contains(line, "requests_total") || strings.Contains(line, "reads_total") ||
-			strings.Contains(line, "batches") || strings.Contains(line, "stage_seconds{") {
+			strings.Contains(line, "batches") || strings.Contains(line, "stage_seconds{") ||
+			strings.Contains(line, "cancelled") || strings.Contains(line, "dropped") {
 			fmt.Println(" ", line)
 		}
 	}

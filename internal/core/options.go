@@ -140,6 +140,12 @@ type ServerConfig struct {
 	// disables lingering (every partial batch flushes immediately).
 	CoalesceLinger time.Duration
 
+	// RequestTimeout bounds one request's alignment work. When it (or the
+	// client's own disconnect) ends the request context, batches not yet
+	// started are dropped from the queue and the request's admission
+	// budget is released. 0 means no server-imposed deadline.
+	RequestTimeout time.Duration
+
 	// DrainTimeout bounds graceful shutdown's wait for in-flight requests.
 	// <= 0 means 30s.
 	DrainTimeout time.Duration
@@ -189,6 +195,9 @@ func (c *ServerConfig) Normalize(numCPU int) error {
 	}
 	if c.CoalesceLinger == 0 {
 		c.CoalesceLinger = DefaultCoalesceLinger
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout

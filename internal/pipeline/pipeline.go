@@ -16,6 +16,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -163,6 +164,24 @@ func RunPaired(a *core.Aligner, reads1, reads2 []seq.Read, cfg Config) *Result {
 // call's pairs only, so output is independent of any concurrent work
 // sharing the scheduler. Result.Clock has RunOn's shared-scheduler caveat.
 func RunPairedOn(s *Scheduler, reads1, reads2 []seq.Read, cfg Config) *Result {
+	perPair := make([][]byte, len(reads1))
+	// context.Background never cancels, so the error is structurally nil.
+	res, _ := RunPairedStreamOn(context.Background(), s, reads1, reads2, cfg,
+		func(i int, rec []byte) { perPair[i] = rec })
+	res.SAM = concatRecords(perPair)
+	return res
+}
+
+// RunPairedStreamOn is RunPairedOn with incremental output and per-request
+// cancellation. emit is called exactly once per pair index with that
+// pair's SAM records, from worker goroutines in completion (not index)
+// order, as soon as the pair is formatted — a server can start writing the
+// response while later pairs are still being paired. emit must be safe for
+// concurrent use. When ctx is cancelled, batches not yet started are
+// dropped from the scheduler queue, emit stops being called, and the
+// return is (nil, ctx.Err()); the Result's SAM field is always nil (the
+// records went through emit).
+func RunPairedStreamOn(ctx context.Context, s *Scheduler, reads1, reads2 []seq.Read, cfg Config, emit func(i int, rec []byte)) (*Result, error) {
 	a := s.Aligner()
 	if len(reads1) != len(reads2) {
 		panic("pipeline: unequal pair lists")
@@ -183,7 +202,7 @@ func RunPairedOn(s *Scheduler, reads1, reads2 []seq.Read, cfg Config) *Result {
 
 	// Phase 1: align all ends (batched, dynamic distribution).
 	nBatches := (len(reads1) + cfg.BatchSize - 1) / cfg.BatchSize
-	s.Each(2*nBatches, func(ws *core.Workspace, b int) {
+	err := s.EachCtx(ctx, 2*nBatches, func(ws *core.Workspace, b int) {
 		end, bi := b/nBatches, b%nBatches
 		lo := bi * cfg.BatchSize
 		hi := lo + cfg.BatchSize
@@ -197,30 +216,35 @@ func RunPairedOn(s *Scheduler, reads1, reads2 []seq.Read, cfg Config) *Result {
 		out := a.AlignBatch(codes[lo:hi], ws)
 		copy(regs[lo:hi], out)
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 2: infer the insert-size distribution from all pairs.
 	ps := a.InferPairStats(regs1, regs2)
 
 	// Phase 3: pair and emit (per-pair dynamic distribution via a shared
 	// counter, as in RunOn's per-read layout).
-	perPair := make([][]byte, len(reads1))
 	var next int64 = -1
-	s.Each(s.Threads(), func(ws *core.Workspace, _ int) {
-		for {
+	err = s.EachCtx(ctx, s.Threads(), func(ws *core.Workspace, _ int) {
+		for ctx.Err() == nil {
 			i := int(atomic.AddInt64(&next, 1))
 			if i >= len(reads1) {
 				return
 			}
 			t0 := time.Now()
-			perPair[i] = a.AppendSAMPair(nil, &ps, &reads1[i], &reads2[i],
+			rec := a.AppendSAMPair(nil, &ps, &reads1[i], &reads2[i],
 				codes1[i], codes2[i], regs1[i], regs2[i])
 			ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+			emit(i, rec)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{Reads: 2 * len(reads1), Wall: time.Since(start)}
 	res.Clock = s.Clock()
 	res.Clock.Sub(&clock0)
-	res.SAM = concatRecords(perPair)
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -26,6 +27,12 @@ type Scheduler struct {
 }
 
 type task struct {
+	// ctx, when non-nil, gates execution: a worker that pops a task whose
+	// context is already cancelled skips run entirely (the task still
+	// counts as done). This is how an abandoned request's queued-but-
+	// unstarted batches are dropped instead of aligned into a response
+	// nobody will read.
+	ctx  context.Context
 	run  func(ws *core.Workspace)
 	done *sync.WaitGroup
 }
@@ -53,7 +60,9 @@ func (s *Scheduler) worker() {
 	var clock, flushed counters.StageClock
 	ws := &core.Workspace{Clock: &clock}
 	for t := range s.tasks {
-		t.run(ws)
+		if t.ctx == nil || t.ctx.Err() == nil {
+			t.run(ws)
+		}
 		// Publish stage time before signalling completion so a caller that
 		// returns from Each/Drain observes its own work in Clock().
 		s.clock.AddDelta(&clock, &flushed)
@@ -86,6 +95,37 @@ func (s *Scheduler) Each(n int, fn func(ws *core.Workspace, i int)) {
 		s.tasks <- task{run: func(ws *core.Workspace) { fn(ws, i) }, done: &wg}
 	}
 	wg.Wait()
+}
+
+// EachCtx is Each with cancellation: once ctx is done, queued tasks not
+// yet picked up by a worker are skipped (fn never runs for them) and no
+// further tasks are submitted. It blocks until every submitted task has
+// either run or been skipped, then returns ctx.Err() — nil when all n
+// calls completed.
+func (s *Scheduler) EachCtx(ctx context.Context, n int, fn func(ws *core.Workspace, i int)) error {
+	if ctx.Done() == nil {
+		s.Each(n, fn) // uncancellable context: no per-send select needed
+		return nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	queued := 0
+submit:
+	for i := 0; i < n; i++ {
+		i := i
+		t := task{ctx: ctx, run: func(ws *core.Workspace) { fn(ws, i) }, done: &wg}
+		select {
+		case s.tasks <- t:
+			queued++
+		case <-ctx.Done():
+			break submit
+		}
+	}
+	for ; queued < n; queued++ {
+		wg.Done() // account for tasks never submitted
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Go submits one task without waiting for it. It may block briefly when the

@@ -1,0 +1,91 @@
+package seq
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONReadVisitor receives one read of a JSON read-array field as soon as
+// it is decoded. Returning a non-nil error aborts the whole decode
+// immediately — the remainder of the body is never read — and
+// DecodeJSONReads returns that error verbatim.
+type JSONReadVisitor func(rd Read) error
+
+// DecodeJSONReads incrementally decodes a JSON object whose recognized
+// top-level fields each hold an array of read objects of the form
+//
+//	{"name": "...", "seq": "ACGT...", "qual": "IIII..."}
+//
+// calling the field's visitor for every read as it is decoded. The arrays
+// are never materialized here, which is what lets a server enforce
+// per-request read caps and per-read validation mid-body instead of after
+// buffering the whole request. Fields without a visitor are skipped; a
+// recognized field holding null is treated as an empty array.
+func DecodeJSONReads(r io.Reader, fields map[string]JSONReadVisitor) error {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("json: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("json: request body is not an object")
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		key, _ := keyTok.(string)
+		visit, ok := fields[key]
+		if !ok {
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return fmt.Errorf("json: field %q: %w", key, err)
+			}
+			continue
+		}
+		if err := decodeReadArray(dec, key, visit); err != nil {
+			return err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return fmt.Errorf("json: %w", err)
+	}
+	return nil
+}
+
+// decodeReadArray streams one read-array value, invoking visit per element.
+func decodeReadArray(dec *json.Decoder, field string, visit JSONReadVisitor) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("json: field %q: %w", field, err)
+	}
+	if tok == nil {
+		return nil // null array: no reads
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("json: field %q is not an array", field)
+	}
+	for dec.More() {
+		var wire struct {
+			Name string `json:"name"`
+			Seq  string `json:"seq"`
+			Qual string `json:"qual"`
+		}
+		if err := dec.Decode(&wire); err != nil {
+			return fmt.Errorf("json: field %q: %w", field, err)
+		}
+		rd := Read{Name: wire.Name, Seq: []byte(wire.Seq)}
+		if wire.Qual != "" {
+			rd.Qual = []byte(wire.Qual)
+		}
+		if err := visit(rd); err != nil {
+			return err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return fmt.Errorf("json: field %q: %w", field, err)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package seq
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFastqScannerMatchesReadFastq(t *testing.T) {
+	reads := []Read{
+		{Name: "r1", Seq: []byte("ACGTACGT"), Qual: []byte("IIIIIIII")},
+		{Name: "r2 desc dropped", Seq: []byte("GGGG"), Qual: []byte("!!!!")},
+		{Name: "r3", Seq: []byte("TTTTT"), Qual: []byte("IIIII")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	want, err := ReadFastq(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewFastqScanner(bytes.NewReader(raw))
+	var got []Read
+	for sc.Scan() {
+		got = append(got, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scanner records differ from ReadFastq:\n got %+v\nwant %+v", got, want)
+	}
+	if sc.Scan() {
+		t.Fatal("Scan returned true after end of input")
+	}
+}
+
+func TestFastqScannerErrors(t *testing.T) {
+	cases := []struct {
+		name, body, errSub string
+	}{
+		{"bad header", "not-a-header\nACGT\n+\nIIII\n", "does not start with '@'"},
+		{"bad separator", "@r\nACGT\nIIII\n", "separator line"},
+		{"qual length", "@r\nACGT\n+\nII\n", "quality length"},
+	}
+	for _, c := range cases {
+		sc := NewFastqScanner(strings.NewReader(c.body))
+		for sc.Scan() {
+		}
+		if err := sc.Err(); err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.errSub)
+		}
+	}
+
+	// Trailing blank lines are tolerated, not errors.
+	sc := NewFastqScanner(strings.NewReader("@r\nACGT\n+\nIIII\n\n\n"))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if sc.Err() != nil || n != 1 {
+		t.Fatalf("trailing blanks: %d records, err %v", n, sc.Err())
+	}
+
+	// Empty input: zero records, no error (ReadFastq layers its own check).
+	sc = NewFastqScanner(strings.NewReader(""))
+	if sc.Scan() || sc.Err() != nil {
+		t.Fatalf("empty input: Scan %v, err %v", sc.Scan(), sc.Err())
+	}
+}
+
+func TestFastqScannerStopsOnAbort(t *testing.T) {
+	// A consumer that stops scanning must not have forced a read of the
+	// whole body: build 4 small records followed by a large tail and check
+	// consumption stays within the scanner's buffer.
+	var buf bytes.Buffer
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&buf, "@r%d\nACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIII\n", i)
+	}
+	total := buf.Len()
+	cr := &countingReader{r: bytes.NewReader(buf.Bytes())}
+	sc := NewFastqScanner(cr)
+	for i := 0; i < 4 && sc.Scan(); i++ {
+	}
+	if cr.n > 1<<17 {
+		t.Fatalf("scanner consumed %d of %d bytes after 4 records", cr.n, total)
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func TestDecodeJSONReads(t *testing.T) {
+	body := `{"tag": "x", "reads": [
+		{"name": "a", "seq": "ACGT", "qual": "IIII"},
+		{"name": "b", "seq": "GG"}
+	], "extra": {"nested": [1, 2]}}`
+	var got []Read
+	err := DecodeJSONReads(strings.NewReader(body), map[string]JSONReadVisitor{
+		"reads": func(rd Read) error { got = append(got, rd); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Read{
+		{Name: "a", Seq: []byte("ACGT"), Qual: []byte("IIII")},
+		{Name: "b", Seq: []byte("GG")},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestDecodeJSONReadsTwoFields(t *testing.T) {
+	body := `{"reads1": [{"name": "p", "seq": "AC"}], "reads2": [{"name": "p", "seq": "GT"}]}`
+	var r1, r2 []Read
+	err := DecodeJSONReads(strings.NewReader(body), map[string]JSONReadVisitor{
+		"reads1": func(rd Read) error { r1 = append(r1, rd); return nil },
+		"reads2": func(rd Read) error { r2 = append(r2, rd); return nil },
+	})
+	if err != nil || len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("err %v, r1 %d, r2 %d", err, len(r1), len(r2))
+	}
+}
+
+func TestDecodeJSONReadsNullAndMalformed(t *testing.T) {
+	if err := DecodeJSONReads(strings.NewReader(`{"reads": null}`), map[string]JSONReadVisitor{
+		"reads": func(Read) error { t.Fatal("visitor called for null"); return nil },
+	}); err != nil {
+		t.Fatalf("null array: %v", err)
+	}
+	for _, bad := range []string{`[1,2]`, `{`, `{"reads": 7}`, `not json`} {
+		if err := DecodeJSONReads(strings.NewReader(bad), map[string]JSONReadVisitor{
+			"reads": func(Read) error { return nil },
+		}); err == nil {
+			t.Errorf("malformed %q: no error", bad)
+		}
+	}
+}
+
+func TestDecodeJSONReadsVisitorAbortStopsReading(t *testing.T) {
+	// The visitor error must propagate verbatim and halt the decode
+	// without consuming the rest of the body.
+	var buf bytes.Buffer
+	buf.WriteString(`{"reads": [`)
+	for i := 0; i < 50000; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"name": "r%d", "seq": "ACGTACGTACGT"}`, i)
+	}
+	buf.WriteString(`]}`)
+	total := buf.Len()
+
+	abort := errors.New("stop here")
+	seen := 0
+	cr := &countingReader{r: bytes.NewReader(buf.Bytes())}
+	err := DecodeJSONReads(cr, map[string]JSONReadVisitor{
+		"reads": func(Read) error {
+			seen++
+			if seen > 3 {
+				return abort
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, abort) {
+		t.Fatalf("err = %v, want the visitor's own error", err)
+	}
+	if cr.n > 1<<16 {
+		t.Fatalf("decode consumed %d of %d bytes after aborting at read 4", cr.n, total)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,12 +21,18 @@ import (
 // is cut and submitted immediately, and a partial tail lingers briefly
 // (CoalesceLinger) for company from the next request before being flushed.
 //
-// Output routing is per read: each read carries a pointer to its slot in
-// the owning request's result slice, so a batch may interleave many
-// requests while every request still gets its records in input order —
-// byte-identical to a dedicated pipeline.Run over just its reads (batch
-// composition never affects a read's SAM record; that is the pipeline's
-// layout-invariance property).
+// Output routing is per read: each read carries its index in the owning
+// request plus the request's emit callback, so a batch may interleave many
+// requests while every request still streams its records out in input
+// order — byte-identical to a dedicated pipeline.Run over just its reads
+// (batch composition never affects a read's SAM record; that is the
+// pipeline's layout-invariance property).
+//
+// Cancellation is per request: when a request's context is cancelled its
+// reads still waiting in the pending queue are evicted without ever being
+// aligned, and reads already cut into batches are skipped when the batch
+// runs. Either way the request's Align call returns promptly so its
+// admission budget frees.
 //
 // Paired-end requests are NOT coalesced across requests: insert-size
 // statistics are inferred per request (as RunPaired infers them per run),
@@ -36,63 +43,116 @@ type coalescer struct {
 	batch  int
 	linger time.Duration // negative: flush partial batches immediately
 
-	mu         sync.Mutex
-	pend       []pendRead
-	timerArmed bool
-	draining   bool // flush every batch immediately (shutdown in progress)
-	closed     bool
+	mu       sync.Mutex
+	pend     []pendRead
+	timer    *time.Timer // pending linger flush (nil = unarmed); stopped on drain/close
+	draining bool        // flush every batch immediately (shutdown in progress)
+	closed   bool
 
 	// Stats for /metrics.
 	batches        atomic.Int64 // batches submitted to the pool
 	partialFlushes atomic.Int64 // batches flushed below the target size
 }
 
-// pendRead is one read awaiting batching, with its output slot and
+// reqState is the per-Align-call state shared by that request's pending
+// reads, letting a batch worker observe cancellation cheaply.
+type reqState struct {
+	cancelled atomic.Bool
+}
+
+// pendRead is one read awaiting batching, with its output routing and
 // completion callback.
 type pendRead struct {
 	rd   *seq.Read
 	code []byte
-	out  *[]byte
+	idx  int                  // index within the owning request
+	emit func(i int, rec []byte) // receives the read's SAM record
 	done func()
+	st   *reqState
 }
 
 func newCoalescer(sched *pipeline.Scheduler, batchSize int, linger time.Duration) *coalescer {
 	return &coalescer{sched: sched, batch: batchSize, linger: linger}
 }
 
-// Align maps reads and returns one SAM record slice per read, in input
-// order. It blocks until every read has been aligned. Returns errDraining
-// after Close.
-func (c *coalescer) Align(reads []seq.Read) ([][]byte, error) {
-	slots := make([][]byte, len(reads))
+// Align maps reads, delivering each read's SAM record through emit(i, rec)
+// — called from worker goroutines, at most once per index, in completion
+// (not index) order — and blocks until every read has been aligned or the
+// context is cancelled. On cancellation, reads not yet in a running batch
+// are dropped unaligned and ctx.Err() is returned; emit must tolerate
+// having seen only a subset of indices. Returns errDraining after Close.
+func (c *coalescer) Align(ctx context.Context, reads []seq.Read, emit func(i int, rec []byte)) error {
 	if len(reads) == 0 {
-		return slots, nil
+		return nil
 	}
+	st := &reqState{}
 	var wg sync.WaitGroup
 	wg.Add(len(reads))
 	pend := make([]pendRead, len(reads))
 	for i := range reads {
 		// Encoding stays outside the stage clocks, mirroring pipeline.Run.
 		pend[i] = pendRead{rd: &reads[i], code: seq.Encode(reads[i].Seq),
-			out: &slots[i], done: wg.Done}
+			idx: i, emit: emit, done: wg.Done, st: st}
 	}
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, errDraining
+		return errDraining
 	}
 	c.pend = append(c.pend, pend...)
 	batches := c.cutLocked(c.linger < 0 || c.draining)
-	if len(c.pend) > 0 && c.linger >= 0 && !c.timerArmed {
-		c.timerArmed = true
-		time.AfterFunc(c.linger, c.flushPartial)
+	if len(c.pend) > 0 && c.linger >= 0 && c.timer == nil {
+		c.timer = time.AfterFunc(c.linger, c.flushPartial)
 	}
 	c.mu.Unlock()
 
 	c.submit(batches)
-	wg.Wait()
-	return slots, nil
+
+	if ctx.Done() == nil { // uncancellable: wait without the extra goroutine
+		wg.Wait()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Mark first so batches already cut skip these reads, then evict
+		// whatever is still in the pending queue. In-flight batches finish
+		// on their own; <-done bounds the wait to work already running.
+		st.cancelled.Store(true)
+		c.evict(st)
+		<-done
+		return ctx.Err()
+	}
+}
+
+// evict removes a cancelled request's reads from the pending queue,
+// completing them unaligned so the request's Align call can return.
+func (c *coalescer) evict(st *reqState) {
+	c.mu.Lock()
+	var evicted []func()
+	kept := c.pend[:0]
+	for _, pr := range c.pend {
+		if pr.st == st {
+			evicted = append(evicted, pr.done)
+			continue
+		}
+		kept = append(kept, pr)
+	}
+	for i := len(kept); i < len(c.pend); i++ {
+		c.pend[i] = pendRead{} // drop references so held reads can be collected
+	}
+	c.pend = kept
+	c.mu.Unlock()
+	for _, done := range evicted {
+		done()
+	}
 }
 
 // cutLocked removes every full batch from the pending queue — plus the
@@ -126,11 +186,21 @@ func (c *coalescer) cutLocked(force bool) [][]pendRead {
 	return batches
 }
 
+// stopTimerLocked cancels any pending linger flush. Without this a
+// drained/closed coalescer would keep an AfterFunc callback scheduled past
+// shutdown (the timer leak this replaces).
+func (c *coalescer) stopTimerLocked() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+}
+
 // flushPartial is the linger-timer callback: whatever is pending goes out
 // as one (possibly undersized) batch.
 func (c *coalescer) flushPartial() {
 	c.mu.Lock()
-	c.timerArmed = false
+	c.timer = nil
 	var batches [][]pendRead
 	if !c.closed {
 		batches = c.cutLocked(true)
@@ -154,18 +224,32 @@ func (c *coalescer) submit(batches [][]pendRead) {
 }
 
 // runBatch executes one coalesced batch on a pool worker: batch-staged
-// alignment, then per-read SAM formatting into each read's own slot.
+// alignment over the batch's still-live reads, then per-read SAM
+// formatting routed to each read's own request. Reads whose request was
+// cancelled after the batch was cut are completed unaligned.
 func (c *coalescer) runBatch(batch []pendRead, ws *core.Workspace) {
-	a := c.sched.Aligner()
-	codes := make([][]byte, len(batch))
+	live := make([]pendRead, 0, len(batch))
 	for i := range batch {
-		codes[i] = batch[i].code
+		if batch[i].st != nil && batch[i].st.cancelled.Load() {
+			batch[i].done()
+			continue
+		}
+		live = append(live, batch[i])
+	}
+	if len(live) == 0 {
+		return
+	}
+	a := c.sched.Aligner()
+	codes := make([][]byte, len(live))
+	for i := range live {
+		codes[i] = live[i].code
 	}
 	regs := a.AlignBatch(codes, ws)
 	t0 := time.Now()
-	for i := range batch {
-		*batch[i].out = a.AppendSAM(nil, batch[i].rd, batch[i].code, regs[i])
-		batch[i].done()
+	for i := range live {
+		rec := a.AppendSAM(nil, live[i].rd, live[i].code, regs[i])
+		live[i].emit(live[i].idx, rec)
+		live[i].done()
 	}
 	ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
 }
@@ -177,6 +261,7 @@ func (c *coalescer) runBatch(batch []pendRead, ws *core.Workspace) {
 func (c *coalescer) SetDraining() {
 	c.mu.Lock()
 	c.draining = true
+	c.stopTimerLocked()
 	batches := c.cutLocked(true)
 	c.mu.Unlock()
 	c.submit(batches)
@@ -187,6 +272,7 @@ func (c *coalescer) SetDraining() {
 func (c *coalescer) Close() {
 	c.mu.Lock()
 	c.closed = true
+	c.stopTimerLocked()
 	batches := c.cutLocked(true)
 	c.mu.Unlock()
 	c.submit(batches)

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// lingerTimerArmed snapshots whether a linger flush is pending.
+func lingerTimerArmed(c *coalescer) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timer != nil
+}
+
+// TestCoalescerStopsLingerTimerOnClose is the regression test for the
+// linger-timer leak: Close (and SetDraining) used to leave the AfterFunc
+// callback pending, so a shut-down server still had a timer scheduled.
+func TestCoalescerStopsLingerTimerOnClose(t *testing.T) {
+	aln, reads, _, _ := setup(t)
+	sched := pipeline.NewScheduler(aln, 1)
+	defer sched.Close()
+	c := newCoalescer(sched, 64, time.Hour)
+
+	var emitted atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Align(context.Background(), reads[:3], func(int, []byte) { emitted.Add(1) })
+	}()
+	// The sub-batch request arms the linger timer and parks.
+	for i := 0; !lingerTimerArmed(c); i++ {
+		if i > 10000 {
+			t.Fatal("linger timer never armed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.Close() // flushes the parked partial batch and must stop the timer
+	if err := <-done; err != nil {
+		t.Fatalf("parked Align after Close: %v", err)
+	}
+	if emitted.Load() != 3 {
+		t.Fatalf("flushed %d of 3 records", emitted.Load())
+	}
+	if lingerTimerArmed(c) {
+		t.Fatal("linger timer leaked past Close")
+	}
+}
+
+// TestCoalescerStopsLingerTimerOnDrain: SetDraining has the same
+// obligation as Close.
+func TestCoalescerStopsLingerTimerOnDrain(t *testing.T) {
+	aln, reads, _, _ := setup(t)
+	sched := pipeline.NewScheduler(aln, 1)
+	defer sched.Close()
+	c := newCoalescer(sched, 64, time.Hour)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Align(context.Background(), reads[:2], func(int, []byte) {})
+	}()
+	for i := 0; !lingerTimerArmed(c); i++ {
+		if i > 10000 {
+			t.Fatal("linger timer never armed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.SetDraining()
+	if err := <-done; err != nil {
+		t.Fatalf("parked Align after SetDraining: %v", err)
+	}
+	if lingerTimerArmed(c) {
+		t.Fatal("linger timer leaked past SetDraining")
+	}
+	c.Close()
+}

@@ -1,9 +1,10 @@
 package server
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"strings"
@@ -30,7 +31,9 @@ func requestBodyLimit(maxReads, maxReadLen int) int64 {
 	return limit
 }
 
-// jsonRead is the wire form of one read in JSON request bodies.
+// jsonRead is the wire form of one read in JSON request bodies. Decoding is
+// incremental (seq.DecodeJSONReads); these types document the schema and
+// serve as client-side marshaling helpers.
 type jsonRead struct {
 	Name string `json:"name"`
 	Seq  string `json:"seq"`
@@ -46,50 +49,42 @@ type pairedRequest struct {
 	Reads2 []jsonRead `json:"reads2"`
 }
 
-func fromJSONReads(in []jsonRead) []seq.Read {
-	out := make([]seq.Read, len(in))
-	for i, r := range in {
-		out[i] = seq.Read{Name: r.Name, Seq: []byte(r.Seq)}
-		if r.Qual != "" {
-			out[i].Qual = []byte(r.Qual)
-		}
-	}
-	return out
-}
-
 // errReadTooLong marks a policy rejection (mapped to 413) rather than a
 // malformed input (400).
 var errReadTooLong = errors.New("read exceeds length limit")
 
-// validateReads enforces the input policy on every parse path (JSON and
-// FASTQ alike): SAM emits name/seq/qual verbatim, so whitespace or control
-// bytes in any of them would let a caller inject extra SAM fields or
-// records into the response — an empty sequence produces a record no SAM
-// parser accepts — and admission charges per read, so a length cap keeps
-// one giant read from occupying a worker far beyond its budgeted share.
-func validateReads(reads []seq.Read, maxLen int) error {
-	for i := range reads {
-		r := &reads[i]
-		if len(r.Seq) == 0 {
-			return fmt.Errorf("read %d (%q): empty sequence", i, r.Name)
+// errTooManyReads marks a mid-decode rejection of a request exceeding
+// MaxReadsPerRequest: the decoder stops at the first read over the cap
+// without consuming the rest of the body. Mapped to 413.
+var errTooManyReads = errors.New("request exceeds per-request read limit")
+
+// validateRead enforces the input policy on every decode path (JSON and
+// FASTQ alike), read by read as the body streams in: SAM emits
+// name/seq/qual verbatim, so whitespace or control bytes in any of them
+// would let a caller inject extra SAM fields or records into the response —
+// an empty sequence produces a record no SAM parser accepts — and admission
+// charges per read, so a length cap keeps one giant read from occupying a
+// worker far beyond its budgeted share.
+func validateRead(r *seq.Read, i, maxLen int) error {
+	if len(r.Seq) == 0 {
+		return fmt.Errorf("read %d (%q): empty sequence", i, r.Name)
+	}
+	if len(r.Seq) > maxLen {
+		return fmt.Errorf("read %d (%q): %d bases, limit %d: %w", i, r.Name, len(r.Seq), maxLen, errReadTooLong)
+	}
+	if !validName(r.Name) {
+		return fmt.Errorf("read %d: name %q is not a valid SAM query name", i, r.Name)
+	}
+	if !validSeq(r.Seq) {
+		return fmt.Errorf("read %d (%q): sequence contains characters outside the SAM SEQ alphabet", i, r.Name)
+	}
+	if r.Qual != nil {
+		if len(r.Qual) != len(r.Seq) {
+			return fmt.Errorf("read %d (%q): quality length %d != sequence length %d",
+				i, r.Name, len(r.Qual), len(r.Seq))
 		}
-		if len(r.Seq) > maxLen {
-			return fmt.Errorf("read %d (%q): %d bases, limit %d: %w", i, r.Name, len(r.Seq), maxLen, errReadTooLong)
-		}
-		if !validName(r.Name) {
-			return fmt.Errorf("read %d: name %q is not a valid SAM query name", i, r.Name)
-		}
-		if !validSeq(r.Seq) {
-			return fmt.Errorf("read %d (%q): sequence contains characters outside the SAM SEQ alphabet", i, r.Name)
-		}
-		if r.Qual != nil {
-			if len(r.Qual) != len(r.Seq) {
-				return fmt.Errorf("read %d (%q): quality length %d != sequence length %d",
-					i, r.Name, len(r.Qual), len(r.Seq))
-			}
-			if !printable(r.Qual) {
-				return fmt.Errorf("read %d (%q): quality contains non-printable characters", i, r.Name)
-			}
+		if !printable(r.Qual) {
+			return fmt.Errorf("read %d (%q): quality contains non-printable characters", i, r.Name)
 		}
 	}
 	return nil
@@ -135,6 +130,15 @@ func validName(s string) bool {
 	return true
 }
 
+// basePairName strips a trailing /1 or /2 end suffix, the convention for
+// naming the two ends of a pair in FASTQ.
+func basePairName(name string) string {
+	if n := len(name); n > 2 && name[n-2] == '/' && (name[n-1] == '1' || name[n-1] == '2') {
+		return name[:n-2]
+	}
+	return name
+}
+
 // isJSON reports whether the request body is JSON; any other content type
 // (text/plain, application/x-fastq, none) is treated as raw FASTQ.
 func isJSON(r *http.Request) bool {
@@ -154,60 +158,129 @@ func wantHeader(r *http.Request) bool {
 	return v != "0" && v != "false"
 }
 
-// parseSingle extracts and validates the read set of a single-end request.
-func (s *Server) parseSingle(r *http.Request) ([]seq.Read, error) {
+// responseHeader resolves the SAM header this response should carry.
+func (s *Server) responseHeader(r *http.Request) string {
+	if wantHeader(r) {
+		return s.samHeader
+	}
+	return ""
+}
+
+// capErr is the rejection for the read that would exceed the request cap.
+func capErr(max int) error {
+	return fmt.Errorf("request holds more than %d reads: %w", max, errTooManyReads)
+}
+
+// scanFastq decodes FASTQ incrementally, validating each read and
+// enforcing the request read cap as records arrive, so an over-limit body
+// is rejected at read max+1 without consuming the remainder.
+func scanFastq(body io.Reader, max, maxLen int) ([]seq.Read, error) {
+	sc := seq.NewFastqScanner(body)
 	var reads []seq.Read
-	if isJSON(r) {
-		var req singleRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return nil, fmt.Errorf("json: %w", err)
+	for sc.Scan() {
+		if len(reads) >= max {
+			return nil, capErr(max)
 		}
-		reads = fromJSONReads(req.Reads)
-	} else {
-		var err error
-		if reads, err = seq.ReadFastq(r.Body); err != nil {
+		rd := sc.Record()
+		if err := validateRead(&rd, len(reads), maxLen); err != nil {
 			return nil, err
 		}
+		reads = append(reads, rd)
 	}
-	if err := validateReads(reads, s.cfg.MaxReadLen); err != nil {
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return reads, nil
+}
+
+// parseSingle extracts and validates the read set of a single-end request,
+// streaming the decode so caps and validation apply mid-body.
+func (s *Server) parseSingle(r *http.Request) ([]seq.Read, error) {
+	max, maxLen := s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen
+	if !isJSON(r) {
+		return scanFastq(r.Body, max, maxLen)
+	}
+	var reads []seq.Read
+	err := seq.DecodeJSONReads(r.Body, map[string]seq.JSONReadVisitor{
+		"reads": func(rd seq.Read) error {
+			if len(reads) >= max {
+				return capErr(max)
+			}
+			if err := validateRead(&rd, len(reads), maxLen); err != nil {
+				return err
+			}
+			reads = append(reads, rd)
+			return nil
+		},
+	})
+	if err != nil {
 		return nil, err
 	}
 	return reads, nil
 }
 
 // parsePaired extracts both read sets of a paired-end request. The raw
-// form is interleaved FASTQ (end 1 of pair 1, end 2 of pair 1, ...).
+// form is interleaved FASTQ (end 1 of pair 1, end 2 of pair 1, ...). The
+// decode streams — the total read cap and per-read validation apply as the
+// body arrives — and pair names must agree (after /1,/2 suffix stripping):
+// misordered interleaved input would otherwise silently produce wrong
+// pairings.
 func (s *Server) parsePaired(r *http.Request) (r1, r2 []seq.Read, err error) {
+	max, maxLen := s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen
 	if isJSON(r) {
-		var req pairedRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return nil, nil, fmt.Errorf("json: %w", err)
+		count := 0
+		visitor := func(label string, dst *[]seq.Read) seq.JSONReadVisitor {
+			return func(rd seq.Read) error {
+				if count >= max {
+					return capErr(max)
+				}
+				if err := validateRead(&rd, len(*dst), maxLen); err != nil {
+					return fmt.Errorf("%s: %w", label, err)
+				}
+				*dst = append(*dst, rd)
+				count++
+				return nil
+			}
 		}
-		r1 = fromJSONReads(req.Reads1)
-		r2 = fromJSONReads(req.Reads2)
+		err := seq.DecodeJSONReads(r.Body, map[string]seq.JSONReadVisitor{
+			"reads1": visitor("reads1", &r1),
+			"reads2": visitor("reads2", &r2),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
 	} else {
-		all, ferr := seq.ReadFastq(r.Body)
-		if ferr != nil {
-			return nil, nil, ferr
+		sc := seq.NewFastqScanner(r.Body)
+		n := 0
+		for sc.Scan() {
+			if n >= max {
+				return nil, nil, capErr(max)
+			}
+			rd := sc.Record()
+			if err := validateRead(&rd, n/2, maxLen); err != nil {
+				return nil, nil, err
+			}
+			if n%2 == 0 {
+				r1 = append(r1, rd)
+			} else {
+				r2 = append(r2, rd)
+			}
+			n++
 		}
-		if len(all)%2 != 0 {
-			return nil, nil, fmt.Errorf("interleaved FASTQ holds %d records (odd)", len(all))
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
 		}
-		r1 = make([]seq.Read, 0, len(all)/2)
-		r2 = make([]seq.Read, 0, len(all)/2)
-		for i := 0; i < len(all); i += 2 {
-			r1 = append(r1, all[i])
-			r2 = append(r2, all[i+1])
+		if n%2 != 0 {
+			return nil, nil, fmt.Errorf("interleaved FASTQ holds %d records (odd)", n)
 		}
 	}
 	if len(r1) != len(r2) {
 		return nil, nil, fmt.Errorf("unequal pair lists: %d vs %d reads", len(r1), len(r2))
 	}
-	if err := validateReads(r1, s.cfg.MaxReadLen); err != nil {
-		return nil, nil, fmt.Errorf("reads1: %w", err)
-	}
-	if err := validateReads(r2, s.cfg.MaxReadLen); err != nil {
-		return nil, nil, fmt.Errorf("reads2: %w", err)
+	for i := range r1 {
+		if basePairName(r1[i].Name) != basePairName(r2[i].Name) {
+			return nil, nil, fmt.Errorf("pair %d: read names %q and %q do not match", i, r1[i].Name, r2[i].Name)
+		}
 	}
 	return r1, r2, nil
 }
@@ -222,7 +295,7 @@ func (s *Server) rejectParse(w http.ResponseWriter, err error) {
 			http.StatusRequestEntityTooLarge)
 		return
 	}
-	if errors.Is(err, errReadTooLong) {
+	if errors.Is(err, errReadTooLong) || errors.Is(err, errTooManyReads) {
 		s.met.rejectedLarge.Add(1)
 		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 		return
@@ -261,20 +334,38 @@ func (s *Server) admit(w http.ResponseWriter, n int) bool {
 	}
 }
 
-// writeSAM emits the response: optional header, then the record chunks.
-func (s *Server) writeSAM(w http.ResponseWriter, r *http.Request, chunks ...[]byte) {
-	w.Header().Set("Content-Type", "text/x-sam")
-	if wantHeader(r) {
-		fmt.Fprint(w, s.samHeader)
-	}
-	for _, c := range chunks {
-		s.met.samBytes.Add(int64(len(c)))
-		w.Write(c)
+// finishStream closes out a streamed alignment: it retires the writer
+// goroutine (mandatory before the handler returns), then handles the
+// draining/cancellation bookkeeping. readsPerRecord converts the
+// streamer's record count to reads (1 single-end, 2 paired) so dropped
+// work is metered in the same unit admission charges. The streamed bytes
+// (header included) are counted into samBytes either way.
+func (s *Server) finishStream(w http.ResponseWriter, st *samStreamer, readsPerRecord int, err error) {
+	st.CloseAndWait()
+	defer s.met.samBytes.Add(st.Written())
+	switch {
+	case err == nil:
+		st.EnsureHeader()
+	case errors.Is(err, errDraining):
+		s.met.rejectedDrain.Add(1)
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+	default:
+		// The request's context ended: client disconnect or deadline. Any
+		// not-yet-started work was dropped; if nothing was written yet a
+		// deadline can still be reported, otherwise the stream just ends.
+		s.met.requestsCancelled.Add(1)
+		s.met.readsDropped.Add(int64(readsPerRecord) * int64(st.Missing()))
+		if !st.Started() && errors.Is(err, context.DeadlineExceeded) {
+			http.Error(w, "request deadline exceeded before alignment completed",
+				http.StatusGatewayTimeout)
+		}
 	}
 }
 
 // handleAlign serves POST /align: single-end reads in (FASTQ or JSON), SAM
-// out. Concurrent requests are coalesced into shared batches.
+// out, streamed — response chunks leave as coalesced batches complete, in
+// input order, while later reads are still being aligned. Concurrent
+// requests are coalesced into shared batches.
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.met.badRequests.Add(1)
@@ -294,19 +385,19 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	s.met.singleRequests.Add(1)
 	s.met.readsTotal.Add(int64(len(reads)))
 
-	records, err := s.coal.Align(reads)
-	if err != nil {
-		s.met.rejectedDrain.Add(1)
-		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
-		return
-	}
-	s.writeSAM(w, r, records...)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/x-sam")
+	st := newSAMStreamer(w, s.responseHeader(r), len(reads))
+	s.finishStream(w, st, 1, s.coal.Align(ctx, reads, st.Complete))
 }
 
 // handleAlignPaired serves POST /align/paired: pairs in (interleaved FASTQ
-// or JSON reads1/reads2), paired SAM out. Each request is one RunPaired
-// unit — insert-size statistics come from this request's pairs alone — but
-// its batches share the worker pool with everything else in flight.
+// or JSON reads1/reads2), paired SAM out, streamed per pair as the pairing
+// stage completes. Each request is one paired-run unit — insert-size
+// statistics come from this request's pairs alone — but its batches share
+// the worker pool with everything else in flight, and a cancelled
+// request's unstarted batches are dropped from the queue.
 func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.met.badRequests.Add(1)
@@ -326,6 +417,11 @@ func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
 	s.met.pairedRequests.Add(1)
 	s.met.readsTotal.Add(int64(len(r1) + len(r2)))
 
-	res := pipeline.RunPairedOn(s.sched, r1, r2, pipeline.Config{BatchSize: s.cfg.BatchSize})
-	s.writeSAM(w, r, res.SAM)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/x-sam")
+	st := newSAMStreamer(w, s.responseHeader(r), len(r1))
+	_, err = pipeline.RunPairedStreamOn(ctx, s.sched, r1, r2,
+		pipeline.Config{BatchSize: s.cfg.BatchSize}, st.Complete)
+	s.finishStream(w, st, 2, err)
 }

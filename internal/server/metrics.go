@@ -20,7 +20,10 @@ type metrics struct {
 	rejectedDrain  atomic.Int64 // 503: shutting down
 	badRequests    atomic.Int64 // 400/405: malformed input
 	readsTotal     atomic.Int64 // reads accepted for alignment (pairs count 2)
-	samBytes       atomic.Int64 // SAM record bytes produced (headers excluded)
+	samBytes       atomic.Int64 // SAM bytes actually written to clients (headers included)
+
+	requestsCancelled atomic.Int64 // admitted requests whose context ended first
+	readsDropped      atomic.Int64 // reads of cancelled requests that never produced SAM output
 }
 
 func newMetrics() *metrics {
@@ -44,6 +47,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "too_large", m.rejectedLarge.Load())
 	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "draining", m.rejectedDrain.Load())
 	fmt.Fprintf(w, "bwaserve_requests_bad_total %d\n", m.badRequests.Load())
+	fmt.Fprintf(w, "bwaserve_requests_cancelled_total %d\n", m.requestsCancelled.Load())
+	fmt.Fprintf(w, "bwaserve_reads_dropped_total %d\n", m.readsDropped.Load())
 	fmt.Fprintf(w, "bwaserve_reads_total %d\n", m.readsTotal.Load())
 	fmt.Fprintf(w, "bwaserve_reads_inflight %d\n", s.adm.InFlight())
 	fmt.Fprintf(w, "bwaserve_sam_bytes_total %d\n", m.samBytes.Load())

@@ -27,6 +27,10 @@ type admission struct {
 	max      int
 	inflight int
 	draining bool
+	// idle is lazily created by a WaitIdle caller and closed (then cleared)
+	// by the Release that takes inflight to zero, so waiting for drain
+	// costs nothing instead of busy-polling.
+	idle chan struct{}
 }
 
 func newAdmission(maxReads int) *admission {
@@ -49,12 +53,17 @@ func (q *admission) TryAcquire(n int) error {
 	return nil
 }
 
-// Release returns n admitted reads to the budget.
+// Release returns n admitted reads to the budget, waking WaitIdle callers
+// when the queue empties.
 func (q *admission) Release(n int) {
 	q.mu.Lock()
 	q.inflight -= n
 	if q.inflight < 0 {
 		panic("server: admission release underflow")
+	}
+	if q.inflight == 0 && q.idle != nil {
+		close(q.idle)
+		q.idle = nil
 	}
 	q.mu.Unlock()
 }
@@ -75,19 +84,31 @@ func (q *admission) SetDraining() {
 }
 
 // WaitIdle blocks until no reads are in flight, the deadline passes, or
-// ctx is cancelled, reporting whether the queue drained.
+// ctx is cancelled, reporting whether the queue drained. It parks on a
+// notification channel closed by the emptying Release rather than polling,
+// so a long drain costs no CPU.
 func (q *admission) WaitIdle(ctx context.Context, deadline time.Time) bool {
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
 	for {
-		if q.InFlight() == 0 {
+		q.mu.Lock()
+		if q.inflight == 0 {
+			q.mu.Unlock()
 			return true
 		}
-		if time.Now().After(deadline) {
-			return false
+		if q.idle == nil {
+			q.idle = make(chan struct{})
 		}
+		idle := q.idle
+		q.mu.Unlock()
 		select {
+		case <-idle:
+			// Re-check: the budget may already be occupied again by work
+			// admitted between the close and this wakeup.
 		case <-ctx.Done():
 			return false
-		case <-time.After(2 * time.Millisecond):
+		case <-timer.C:
+			return false
 		}
 	}
 }

@@ -60,6 +60,42 @@ func TestAdmissionDraining(t *testing.T) {
 	}
 }
 
+// TestWaitIdleWakesAllWaiters: several concurrent WaitIdle callers must
+// all be notified by the Release that empties the queue (the notification
+// channel replaced a 2ms busy-poll; the wakeup is the part that can
+// regress).
+func TestWaitIdleWakesAllWaiters(t *testing.T) {
+	q := newAdmission(10)
+	if err := q.TryAcquire(5); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	done := make(chan bool, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { done <- q.WaitIdle(context.Background(), time.Now().Add(5*time.Second)) }()
+	}
+	q.Release(5)
+	for i := 0; i < waiters; i++ {
+		select {
+		case ok := <-done:
+			if !ok {
+				t.Fatal("waiter reported timeout after the queue drained")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke")
+		}
+	}
+	// A later acquire/release cycle must mint a fresh notification channel.
+	if err := q.TryAcquire(2); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- q.WaitIdle(context.Background(), time.Now().Add(5*time.Second)) }()
+	q.Release(2)
+	if !<-done {
+		t.Fatal("second-cycle waiter failed")
+	}
+}
+
 func TestAdmissionConcurrentAccounting(t *testing.T) {
 	q := newAdmission(1 << 30)
 	var wg sync.WaitGroup

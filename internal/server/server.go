@@ -3,13 +3,22 @@
 // requests over HTTP by multiplexing them onto the paper's batch-staged
 // pipeline (internal/pipeline.Scheduler).
 //
-// The request path is: HTTP handler → admission control (bounded in-flight
-// reads, immediate 429 under overload) → cross-request batch coalescer →
-// shared worker pool with per-worker reusable scratch → per-read SAM
-// records routed back to each caller in input order. Responses are
+// The request path is: HTTP handler → incremental body decode (per-read
+// validation and the request read cap apply while the body streams in) →
+// admission control (bounded in-flight reads, immediate 429 under
+// overload) → cross-request batch coalescer → shared worker pool with
+// per-worker reusable scratch → per-read SAM records streamed back to each
+// caller in input order, chunk by chunk as batches complete. Responses are
 // byte-identical to a one-shot pipeline.Run / RunPaired over the same
 // reads, which is the subsystem's correctness contract and is enforced by
 // tests.
+//
+// Every request's alignment work runs under its own context — the client's
+// connection context bounded by ServerConfig.RequestTimeout. When it ends
+// (disconnect or deadline), batches not yet started are dropped from the
+// queue, reads still waiting in the coalescer are evicted unaligned, and
+// the request's admission budget is released as soon as its already-running
+// batches finish.
 //
 // Endpoints:
 //
@@ -89,6 +98,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // ServeHTTP makes Server an http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// requestContext derives the per-request alignment context: the client's
+// own context (so a disconnect cancels the request's queued work and frees
+// its admission budget) bounded by cfg.RequestTimeout when one is set.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 func (s *Server) draining() bool { return s.drainFlag.Load() }

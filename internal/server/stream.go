@@ -1,0 +1,210 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"sync"
+)
+
+// samStreamer turns out-of-order per-record completions into an in-order
+// chunked SAM response. Workers deliver record i via Complete(i, rec) as
+// soon as it is formatted; a per-request writer goroutine drains the
+// longest contiguous completed prefix to the client and flushes it, so the
+// first bytes of a large response leave while most of the request is still
+// being aligned — instead of buffering the whole SAM body as the
+// pre-streaming server did.
+//
+// The socket write happens ONLY on the request-owned writer goroutine,
+// never on a pool worker: Complete is O(1) bookkeeping under a mutex, so a
+// client that stops reading its response (TCP backpressure) blocks its own
+// writer goroutine and nothing else — records for it pile up in slots (no
+// worse than the old buffer-everything behavior) while the shared workers
+// keep serving other requests.
+//
+// It also carries the two writeSAM fixes: the first write error stops all
+// further writes (a disconnected client no longer gets every remaining
+// record written into a dead connection), and written counts every byte
+// actually put on the wire, SAM header included.
+type samStreamer struct {
+	w       http.ResponseWriter
+	flusher http.Flusher  // nil when the ResponseWriter cannot flush
+	header  string        // SAM header emitted before the first record ("" = none)
+	notify  chan struct{} // capacity 1: contiguous progress wake-up
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	started   bool     // some bytes written; the HTTP status is committed
+	slots     [][]byte // completed-but-unwritten records, nil once taken
+	ready     []bool
+	completed int // records delivered via Complete
+	next      int // first index not yet handed to the writer
+	closed    bool
+	written   int64
+	err       error // first write error; sticky
+}
+
+// newSAMStreamer builds a streamer for n records (reads or pairs) to w and
+// starts its writer goroutine. CloseAndWait must be called before the
+// handler returns.
+func newSAMStreamer(w http.ResponseWriter, header string, n int) *samStreamer {
+	st := &samStreamer{w: w, header: header, notify: make(chan struct{}, 1),
+		slots: make([][]byte, n), ready: make([]bool, n)}
+	if f, ok := w.(http.Flusher); ok {
+		st.flusher = f
+	}
+	st.wg.Add(1)
+	go st.writeLoop()
+	return st
+}
+
+// Complete delivers record i. Safe for concurrent use from many workers;
+// each index must be delivered at most once. It never blocks on the
+// client: it only files the record and wakes the writer when the record
+// extends the contiguous prefix.
+func (st *samStreamer) Complete(i int, rec []byte) {
+	st.mu.Lock()
+	st.slots[i] = rec
+	st.ready[i] = true
+	st.completed++
+	wake := i == st.next
+	st.mu.Unlock()
+	if wake {
+		st.signal()
+	}
+}
+
+// signal wakes the writer without blocking (a pending token suffices).
+func (st *samStreamer) signal() {
+	select {
+	case st.notify <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop is the request-owned writer: it drains contiguous completed
+// runs and writes them as one chunk each, flushing between chunks. It
+// exits when every record is written, on the first write error, or when
+// the streamer is closed with no more contiguous work (cancellation left
+// holes that will never fill).
+func (st *samStreamer) writeLoop() {
+	defer st.wg.Done()
+	for {
+		st.mu.Lock()
+		var chunk [][]byte
+		for st.next < len(st.ready) && st.ready[st.next] {
+			chunk = append(chunk, st.slots[st.next])
+			st.slots[st.next] = nil
+			st.next++
+		}
+		finished := st.next == len(st.ready)
+		closed := st.closed
+		failed := st.err != nil
+		st.mu.Unlock()
+
+		if len(chunk) > 0 && !failed {
+			failed = !st.writeChunk(chunk)
+		}
+		switch {
+		case finished || failed || (closed && len(chunk) == 0):
+			return
+		case len(chunk) > 0:
+			continue // more may have completed while writing
+		}
+		<-st.notify
+	}
+}
+
+// writeChunk writes one contiguous run (header first when it is the very
+// first write), updating the byte count and sticky error. Reports success.
+func (st *samStreamer) writeChunk(chunk [][]byte) bool {
+	st.mu.Lock()
+	first := !st.started
+	st.started = true
+	st.mu.Unlock()
+
+	var n int64
+	var err error
+	if first && st.header != "" {
+		var hn int
+		hn, err = io.WriteString(st.w, st.header)
+		n += int64(hn)
+	}
+	if err == nil {
+		for _, rec := range chunk {
+			var rn int
+			rn, err = st.w.Write(rec)
+			n += int64(rn)
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err == nil && st.flusher != nil {
+		st.flusher.Flush()
+	}
+
+	st.mu.Lock()
+	st.written += n
+	if err != nil && st.err == nil {
+		st.err = err
+	}
+	ok := st.err == nil
+	st.mu.Unlock()
+	return ok
+}
+
+// CloseAndWait stops the writer once it runs out of contiguous work and
+// waits for it to exit. Must be called before the handler returns — the
+// ResponseWriter may not be touched after that. Returns the first write
+// error.
+func (st *samStreamer) CloseAndWait() error {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+	st.signal()
+	st.wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// EnsureHeader emits the bare header when no record write did (defensive;
+// admission rejects empty requests). Success path only — after a drain or
+// cancellation the handler writes an error status instead. Must be called
+// after CloseAndWait (the writer has exited; the caller owns w again).
+func (st *samStreamer) EnsureHeader() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.started && st.err == nil && st.header != "" {
+		st.started = true
+		n, err := io.WriteString(st.w, st.header)
+		st.written += int64(n)
+		st.err = err
+		if st.err == nil && st.flusher != nil {
+			st.flusher.Flush()
+		}
+	}
+}
+
+// Written returns the bytes actually written so far, header included.
+func (st *samStreamer) Written() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.written
+}
+
+// Started reports whether any byte (and so the HTTP status) went out.
+func (st *samStreamer) Started() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.started
+}
+
+// Missing returns how many records were never delivered — on a cancelled
+// request, the reads/pairs whose alignment was abandoned.
+func (st *samStreamer) Missing() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.slots) - st.completed
+}
