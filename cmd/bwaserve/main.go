@@ -11,8 +11,13 @@
 // Request bodies are decoded incrementally and SAM responses are streamed
 // back chunk by chunk as batches complete; a disconnected client's (or a
 // -request-timeout expired request's) unstarted work is dropped from the
-// queue. SIGINT/SIGTERM drain gracefully: in-flight requests complete, new
-// ones are rejected with 503, then the process exits.
+// queue. Duplicate single-end read sequences (PCR/optical duplicates) are
+// served from a sharded result cache (-cache, -cache-bytes) instead of
+// re-running the alignment pipeline. SIGINT/SIGTERM drain gracefully:
+// in-flight requests complete, new ones are rejected with 503, then the
+// process exits.
+//
+// See ARCHITECTURE.md for the full request path.
 package main
 
 import (
@@ -49,6 +54,9 @@ func main() {
 	maxReadLen := fs.Int("max-read-len", core.DefaultMaxReadLen, "max bases per read (413 beyond)")
 	linger := fs.Duration("linger", core.DefaultCoalesceLinger, "partial-batch coalescing window (negative disables)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request alignment deadline (0 = none)")
+	cache := fs.Bool("cache", true, "cache single-end results by read sequence (duplicate-heavy traffic)")
+	cacheBytes := fs.Int64("cache-bytes", core.DefaultCacheBytes, "result-cache capacity in bytes")
+	cacheShards := fs.Int("cache-shards", core.DefaultCacheShards, "result-cache shard count (rounded up to a power of two)")
 	drain := fs.Duration("drain", core.DefaultDrainTimeout, "graceful-shutdown drain timeout")
 	synthetic := fs.Int("synthetic", 0, "serve a synthetic genome of this many bp instead of a reference file")
 	seed := fs.Int64("seed", 42, "seed for -synthetic")
@@ -67,6 +75,9 @@ func main() {
 	cfg.CoalesceLinger = *linger
 	cfg.RequestTimeout = *reqTimeout
 	cfg.DrainTimeout = *drain
+	cfg.CacheEnabled = *cache
+	cfg.CacheBytes = *cacheBytes
+	cfg.CacheShards = *cacheShards
 	switch *modeStr {
 	case "baseline":
 		cfg.Mode = core.ModeBaseline

@@ -14,6 +14,10 @@
 //
 // Beyond the one-shot CLI (cmd/bwamem), the repository serves the same
 // pipeline as a long-lived HTTP service (internal/server, cmd/bwaserve)
-// that keeps the FM-index resident and coalesces concurrent requests into
-// the batch-staged workflow. See README.md for the server API.
+// that keeps the FM-index resident, coalesces concurrent requests into
+// the batch-staged workflow, and serves duplicate read sequences from a
+// sharded result cache (internal/rescache). See README.md for the server
+// API and ARCHITECTURE.md for a top-to-bottom tour of the request path
+// (admission → rescache → coalescer → scheduler → pipeline stages →
+// streamed SAM).
 package repro

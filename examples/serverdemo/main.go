@@ -2,8 +2,10 @@
 // it starts an in-process server over a synthetic genome, fires concurrent
 // single-end FASTQ and paired-end JSON requests at it over real HTTP,
 // shows the response streaming (first SAM bytes arriving while the rest of
-// the request is still aligning) and a client disconnect freeing its
-// admission budget, and finishes with the server's own /metrics view.
+// the request is still aligning), a client disconnect freeing its
+// admission budget, and duplicate-heavy traffic (PCR-duplicate style)
+// being served from the result cache, and finishes with the server's own
+// /metrics view.
 package main
 
 import (
@@ -151,6 +153,13 @@ func main() {
 		cresp.Body.Close()
 		fmt.Println("cancellation demo: request finished before the deadline fired (fast machine)")
 	}
+	// 6. Duplicate-heavy traffic: real sequencing runs repeat the same
+	//    sequence many times (PCR/optical duplicates). The server caches
+	//    alignment regions by sequence, so a 90%-duplicate request costs
+	//    roughly the unique 10% in pipeline work — every copy still gets
+	//    its own record, rendered under its own read name.
+	dupDemo(base, reads)
+
 	// Let the server finish abandoning the request before reading /metrics.
 	for i := 0; i < 1000; i++ {
 		hr, err := http.Get(base + "/healthz")
@@ -165,7 +174,7 @@ func main() {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	// 6. The server's own view of what just happened.
+	// 7. The server's own view of what just happened.
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -176,8 +185,58 @@ func main() {
 	for _, line := range strings.Split(strings.TrimSpace(string(metrics)), "\n") {
 		if strings.Contains(line, "requests_total") || strings.Contains(line, "reads_total") ||
 			strings.Contains(line, "batches") || strings.Contains(line, "stage_seconds{") ||
-			strings.Contains(line, "cancelled") || strings.Contains(line, "dropped") {
+			strings.Contains(line, "cancelled") || strings.Contains(line, "dropped") ||
+			strings.Contains(line, "cache") {
 			fmt.Println(" ", line)
 		}
 	}
+}
+
+// dupDemo fires a duplicate-heavy single-end request — 10% unique reads,
+// each repeated 10 times under fresh names — and reports the cache's view
+// of it alongside the wall time of an equivalent all-unique request.
+func dupDemo(base string, unique []seq.Read) {
+	cacheStats := func() (hits, misses int64) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		for _, line := range strings.Split(string(body), "\n") {
+			if n, ok := strings.CutPrefix(line, "bwaserve_cache_hits_total "); ok {
+				fmt.Sscan(n, &hits)
+			}
+			if n, ok := strings.CutPrefix(line, "bwaserve_cache_misses_total "); ok {
+				fmt.Sscan(n, &misses)
+			}
+		}
+		return hits, misses
+	}
+	h0, m0 := cacheStats()
+
+	// 90% duplication: every unique read appears 10 times, each copy under
+	// its own name (as PCR duplicates would).
+	var dup []seq.Read
+	for copyN := 0; copyN < 10; copyN++ {
+		for i, r := range unique {
+			dup = append(dup, seq.Read{
+				Name: fmt.Sprintf("dup%d.%d", i, copyN), Seq: r.Seq, Qual: r.Qual})
+		}
+	}
+	var body bytes.Buffer
+	seq.WriteFastq(&body, dup)
+	t0 := time.Now()
+	resp, err := http.Post(base+"/align?header=0", "application/x-fastq", &body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sam, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(t0)
+
+	h1, m1 := cacheStats()
+	fmt.Printf("duplicate-heavy: %d reads (%d unique) -> %d SAM records in %v; cache served %d hits / %d misses (%.0f%% hit rate)\n",
+		len(dup), len(unique), strings.Count(string(sam), "\n"), elapsed.Round(time.Microsecond),
+		h1-h0, m1-m0, 100*float64(h1-h0)/float64(h1-h0+m1-m0))
 }

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"time"
 
@@ -146,6 +147,20 @@ type ServerConfig struct {
 	// budget is released. 0 means no server-imposed deadline.
 	RequestTimeout time.Duration
 
+	// CacheEnabled turns on the sharded single-end result cache
+	// (internal/rescache): duplicate read sequences are served from cached
+	// alignment regions (re-rendered per read, so output stays
+	// byte-identical), and concurrent duplicates single-flight behind the
+	// first copy. Paired-end requests always bypass the cache. The zero
+	// ServerConfig leaves it off; DefaultServerConfig enables it.
+	CacheEnabled bool
+	// CacheBytes is the result cache's total capacity in bytes across all
+	// shards. <= 0 means DefaultCacheBytes.
+	CacheBytes int64
+	// CacheShards is the cache's lock-striping width, rounded up to a
+	// power of two. <= 0 means DefaultCacheShards.
+	CacheShards int
+
 	// DrainTimeout bounds graceful shutdown's wait for in-flight requests.
 	// <= 0 means 30s.
 	DrainTimeout time.Duration
@@ -159,6 +174,8 @@ const (
 	DefaultMaxReadLen       = 1 << 16
 	DefaultCoalesceLinger   = 500 * time.Microsecond
 	DefaultDrainTimeout     = 30 * time.Second
+	DefaultCacheBytes       = 256 << 20
+	DefaultCacheShards      = 64
 )
 
 // DefaultServerConfig returns the deployment defaults (optimized mode,
@@ -170,6 +187,9 @@ func DefaultServerConfig() ServerConfig {
 		MaxInFlightReads: DefaultMaxInFlightReads,
 		CoalesceLinger:   DefaultCoalesceLinger,
 		DrainTimeout:     DefaultDrainTimeout,
+		CacheEnabled:     true,
+		CacheBytes:       DefaultCacheBytes,
+		CacheShards:      DefaultCacheShards,
 	}
 }
 
@@ -202,6 +222,12 @@ func (c *ServerConfig) Normalize(numCPU int) error {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout
 	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = DefaultCacheShards
+	}
 	if c.Mode != ModeBaseline && c.Mode != ModeOptimized {
 		return fmt.Errorf("core: unknown server mode %d", c.Mode)
 	}
@@ -210,6 +236,20 @@ func (c *ServerConfig) Normalize(numCPU int) error {
 			c.MaxReadsPerRequest, c.MaxInFlightReads)
 	}
 	return nil
+}
+
+// Fingerprint digests every field that can influence a read's alignment
+// output — the full option set plus the mode — into one value, for use as
+// the option component of result-cache keys (internal/rescache): two
+// aligners over the same index produce interchangeable regions for a
+// sequence exactly when their fingerprints match. It hashes the %#v
+// rendering of the struct so newly added option fields are picked up
+// automatically instead of silently aliasing cache entries across
+// configurations.
+func (o *Options) Fingerprint(mode Mode) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%#v", mode, *o)
+	return h.Sum64()
 }
 
 // chainOpts derives the chaining parameter block.

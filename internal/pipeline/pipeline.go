@@ -13,6 +13,21 @@
 //     and lets scratch memory be reused across stages (§3.1-3.2).
 //
 // Both layouts produce byte-identical SAM output in read order.
+//
+// # Concurrency contract
+//
+// Run, RunPaired, and their streaming variants are safe to call
+// concurrently with distinct ephemeral configurations; each call owns its
+// inputs until it returns. A shared Scheduler is the long-lived form: Each,
+// EachCtx, Go, Clock, and Drain may be called from any goroutine, and
+// tasks from concurrent submitters interleave at task granularity on the
+// fixed worker pool. Two rules bind task functions: they run on worker
+// goroutines with that worker's private core.Workspace (never share a
+// workspace across tasks), and they must not call Each or Go themselves —
+// a worker blocking on the bounded task queue it is supposed to drain can
+// deadlock the pool. Close must not race with new submissions; the
+// RunPairedStreamOn emit callback runs on worker goroutines and must not
+// block indefinitely.
 package pipeline
 
 import (

@@ -1,0 +1,348 @@
+// Package rescache is the server's sharded alignment-result cache for
+// duplicate-heavy traffic. Real sequencing runs are full of PCR and optical
+// duplicates — the same read sequence arriving many times — and a read's
+// alignment regions depend only on its encoded sequence, the resident
+// index, and the alignment options. The cache therefore keys on
+// (option fingerprint, encoded sequence) and stores the index-relative
+// []core.Region produced by the pipeline, NOT rendered SAM text: on a hit
+// the caller re-renders the record with the hitting read's own name and
+// qualities, so cached responses stay byte-identical to the uncached
+// pipeline. Paired-end reads must not be cached (insert-size inference is
+// cross-read state); that policy lives in the caller.
+//
+// Two mechanisms serve two flavors of duplication:
+//
+//   - The LRU keeps regions of recently aligned sequences resident (bounded
+//     by a byte capacity), so a duplicate arriving later skips the whole
+//     SMEM→SAL→chain→BSW pipeline.
+//   - Single-flight coalesces duplicates that are in flight concurrently:
+//     the first copy of a sequence becomes the "leader" and enters the
+//     batch queue; every further copy parks on the leader's Flight and is
+//     fulfilled from the leader's result without ever occupying a batch
+//     slot.
+//
+// # Concurrency contract
+//
+// Every method is safe for concurrent use from any goroutine. The keyspace
+// is split across a power-of-two number of shards (each with its own lock
+// and its own LRU list and byte budget), so concurrent requests contend
+// only when their sequences hash to the same shard. Waiter callbacks
+// registered via Lookup and the notifications triggered by Flight.Fulfill /
+// Flight.Abort run on the goroutine that resolves the flight — a pipeline
+// worker in the server — with no cache locks held; callbacks may call back
+// into the cache but must not block indefinitely.
+package rescache
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Defaults used when Config fields are zero.
+const (
+	// DefaultCapacity bounds the resident regions at 256 MiB.
+	DefaultCapacity = 256 << 20
+	// DefaultShards is the lock-striping width (power of two).
+	DefaultShards = 64
+)
+
+// regionBytes is the in-memory cost of one core.Region, resolved once so
+// the accounting tracks the struct as it evolves.
+var regionBytes = int64(reflect.TypeOf(core.Region{}).Size())
+
+// entryOverhead approximates the fixed per-entry bookkeeping cost (map
+// slot, entry struct, list links) charged against the byte capacity.
+const entryOverhead = 96
+
+// Config sizes a Cache.
+type Config struct {
+	// Capacity is the total byte budget across all shards (each shard gets
+	// an equal slice). <= 0 means DefaultCapacity.
+	Capacity int64
+	// Shards is the shard count, rounded up to a power of two. <= 0 means
+	// DefaultShards.
+	Shards int
+}
+
+// Status classifies a Lookup outcome.
+type Status int
+
+const (
+	// Hit: the regions were resident; Lookup returned them.
+	Hit Status = iota
+	// Joined: the sequence is being aligned by another caller right now;
+	// the wait callback was registered on that leader's Flight and will be
+	// invoked exactly once when it resolves.
+	Joined
+	// Leading: the caller is the first to ask for this sequence. It
+	// received a Flight and MUST resolve it with Fulfill (result ready) or
+	// Abort (alignment abandoned) — leaking a pending flight parks every
+	// future duplicate of the sequence forever.
+	Leading
+)
+
+// Cache is the sharded LRU + single-flight store. Create with New.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64 // resident (ready) entry cost
+	entries   atomic.Int64 // ready entries
+	capacity  int64
+}
+
+// shard is one lock stripe: a map over both ready and pending entries plus
+// an LRU list (ready entries only — pending entries are pinned, they cost
+// nothing yet and evicting them would orphan their waiters).
+type shard struct {
+	mu         sync.Mutex
+	m          map[string]*entry
+	head, tail *entry // LRU: head = most recently used
+	bytes      int64
+	cap        int64
+}
+
+type entry struct {
+	key        string
+	regs       []core.Region
+	cost       int64
+	flight     *Flight // non-nil while pending (single-flight leader running)
+	prev, next *entry  // LRU links; nil/nil and not listed while pending
+}
+
+// Flight is the single-flight handle for one in-progress alignment. The
+// leader resolves it exactly once; waiters park on it via Lookup. All
+// Flight state is guarded by the owning shard's lock.
+type Flight struct {
+	c       *Cache
+	sh      *shard
+	key     string
+	done    bool
+	waiters []func(regs []core.Region, ok bool)
+}
+
+// New builds a cache, resolving zero Config fields to defaults.
+func New(cfg Config) *Cache {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	c := &Cache{shards: make([]shard, shards), mask: uint64(shards - 1), capacity: cfg.Capacity}
+	per := cfg.Capacity / int64(shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+		c.shards[i].cap = per
+	}
+	return c
+}
+
+// AppendKey appends the cache key for (options fingerprint, encoded
+// sequence) to dst and returns the extended slice. Keying on the numeric
+// encoding rather than the ASCII sequence means case variants ("acgt" vs
+// "ACGT") and distinct ambiguity letters that encode identically share one
+// entry — they align identically, and the caller re-renders SAM from the
+// original read anyway.
+func AppendKey(dst []byte, fingerprint uint64, seqCode []byte) []byte {
+	var fp [8]byte
+	binary.LittleEndian.PutUint64(fp[:], fingerprint)
+	dst = append(dst, fp[:]...)
+	return append(dst, seqCode...)
+}
+
+func (c *Cache) shardOf(key []byte) *shard {
+	h := fnv.New64a()
+	h.Write(key)
+	return &c.shards[h.Sum64()&c.mask]
+}
+
+// Lookup resolves key to one of three outcomes (see Status). key may be a
+// reused buffer: the cache copies it when it needs to retain it.
+//
+//   - Hit: the cached regions are returned. They are shared and MUST be
+//     treated as immutable by every caller.
+//   - Joined: wait was registered on the in-flight leader and will be
+//     called exactly once, with (regs, true) when the leader fulfills or
+//     (nil, false) when it aborts. wait runs on the resolving goroutine
+//     with no cache locks held. A nil wait is allowed only if the caller
+//     can never observe Joined (e.g. single-goroutine tests).
+//   - Leading: the returned Flight must be resolved with Fulfill or Abort.
+func (c *Cache) Lookup(key []byte, wait func(regs []core.Region, ok bool)) ([]core.Region, *Flight, Status) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[string(key)]; ok {
+		if e.flight != nil {
+			if wait != nil {
+				e.flight.waiters = append(e.flight.waiters, wait)
+			}
+			fl := e.flight
+			sh.mu.Unlock()
+			c.coalesced.Add(1)
+			return nil, fl, Joined
+		}
+		sh.moveToFront(e)
+		regs := e.regs
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return regs, nil, Hit
+	}
+	k := string(key) // copy: the caller's buffer may be reused
+	fl := &Flight{c: c, sh: sh, key: k}
+	sh.m[k] = &entry{key: k, flight: fl}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return nil, fl, Leading
+}
+
+// Fulfill publishes the leader's regions: the pending entry becomes a
+// resident LRU entry (evicting least-recently-used entries if the shard
+// goes over budget) and every waiter is notified with (regs, true). regs is
+// retained and shared — the caller and all waiters must treat it as
+// immutable. Fulfill after Abort (or a second Fulfill) is a no-op, so a
+// leader racing its own cancellation stays safe.
+func (fl *Flight) Fulfill(regs []core.Region) {
+	sh := fl.sh
+	sh.mu.Lock()
+	if fl.done {
+		sh.mu.Unlock()
+		return
+	}
+	fl.done = true
+	waiters := fl.waiters
+	fl.waiters = nil
+	var evicted int64
+	if e, ok := sh.m[fl.key]; ok && e.flight == fl {
+		e.flight = nil
+		e.regs = regs
+		e.cost = int64(len(e.key)) + regionBytes*int64(len(regs)) + entryOverhead
+		sh.bytes += e.cost
+		sh.pushFront(e)
+		fl.c.bytes.Add(e.cost)
+		fl.c.entries.Add(1)
+		evicted = sh.evictOverLocked(fl.c)
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		fl.c.evictions.Add(evicted)
+	}
+	for _, w := range waiters {
+		w(regs, true)
+	}
+}
+
+// Abort withdraws the flight without a result: the pending entry is removed
+// (the next Lookup of the sequence starts a fresh leader) and every waiter
+// is notified with (nil, false) so it can retry. Abort after Fulfill is a
+// no-op.
+func (fl *Flight) Abort() {
+	sh := fl.sh
+	sh.mu.Lock()
+	if fl.done {
+		sh.mu.Unlock()
+		return
+	}
+	fl.done = true
+	waiters := fl.waiters
+	fl.waiters = nil
+	if e, ok := sh.m[fl.key]; ok && e.flight == fl {
+		delete(sh.m, fl.key)
+	}
+	sh.mu.Unlock()
+	for _, w := range waiters {
+		w(nil, false)
+	}
+}
+
+// evictOverLocked drops LRU-tail entries until the shard is within budget,
+// returning how many were evicted. Called with sh.mu held.
+func (sh *shard) evictOverLocked(c *Cache) int64 {
+	var n int64
+	for sh.bytes > sh.cap && sh.tail != nil {
+		e := sh.tail
+		sh.unlink(e)
+		delete(sh.m, e.key)
+		sh.bytes -= e.cost
+		c.bytes.Add(-e.cost)
+		c.entries.Add(-1)
+		n++
+	}
+	return n
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // Lookups served from a resident entry
+	Misses    int64 // Lookups that started a new leader (Leading)
+	Coalesced int64 // Lookups parked on an in-flight leader (Joined)
+	Evictions int64 // resident entries dropped to stay within capacity
+	Entries   int64 // resident (ready) entries
+	Bytes     int64 // resident entry cost in bytes
+	Capacity  int64 // configured byte budget
+}
+
+// Stats returns a snapshot. Counters are read individually, so a snapshot
+// taken under concurrent traffic is approximate but each counter is exact.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		Capacity:  c.capacity,
+	}
+}

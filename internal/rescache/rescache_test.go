@@ -1,0 +1,273 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func key(fp uint64, s string) []byte { return AppendKey(nil, fp, []byte(s)) }
+
+func regsOf(score int) []core.Region {
+	return []core.Region{{Score: score, Secondary: -1}}
+}
+
+func TestMissFulfillHit(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, Shards: 4})
+	k := key(1, "ACGT")
+
+	regs, fl, st := c.Lookup(k, nil)
+	if st != Leading || fl == nil || regs != nil {
+		t.Fatalf("first lookup: status %v, flight %v", st, fl)
+	}
+	want := regsOf(42)
+	fl.Fulfill(want)
+
+	got, _, st := c.Lookup(k, nil)
+	if st != Hit {
+		t.Fatalf("second lookup: status %v, want Hit", st)
+	}
+	if len(got) != 1 || got[0].Score != 42 {
+		t.Fatalf("hit returned %+v", got)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes <= 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestEmptyRegionsAreCacheable(t *testing.T) {
+	// An unmapped read legitimately has zero regions; the cache must treat
+	// that as a valid result, not a miss.
+	c := New(Config{Capacity: 1 << 20})
+	k := key(1, "NNNN")
+	_, fl, _ := c.Lookup(k, nil)
+	fl.Fulfill(nil)
+	regs, _, st := c.Lookup(k, nil)
+	if st != Hit || regs != nil {
+		t.Fatalf("status %v regs %v, want Hit with nil regs", st, regs)
+	}
+}
+
+func TestFingerprintSeparatesKeys(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20})
+	_, fl, _ := c.Lookup(key(1, "ACGT"), nil)
+	fl.Fulfill(regsOf(1))
+	if _, _, st := c.Lookup(key(2, "ACGT"), nil); st != Leading {
+		t.Fatalf("different fingerprint resolved to %v, want Leading", st)
+	}
+}
+
+func TestSingleFlightJoinAndFulfill(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20})
+	k := key(1, "ACGT")
+	_, leader, st := c.Lookup(k, nil)
+	if st != Leading {
+		t.Fatal("expected Leading")
+	}
+
+	var got atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, _, st := c.Lookup(k, func(regs []core.Region, ok bool) {
+			if !ok || len(regs) != 1 || regs[0].Score != 7 {
+				t.Errorf("waiter got regs=%v ok=%v", regs, ok)
+			}
+			got.Add(1)
+		})
+		if st != Joined {
+			t.Fatalf("duplicate lookup %d: status %v, want Joined", i, st)
+		}
+	}
+	leader.Fulfill(regsOf(7))
+	if got.Load() != 3 {
+		t.Fatalf("%d waiters notified, want 3", got.Load())
+	}
+	if s := c.Stats(); s.Coalesced != 3 {
+		t.Fatalf("coalesced %d, want 3", s.Coalesced)
+	}
+}
+
+func TestAbortNotifiesWaitersAndClearsEntry(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20})
+	k := key(1, "ACGT")
+	_, leader, _ := c.Lookup(k, nil)
+
+	aborted := false
+	c.Lookup(k, func(regs []core.Region, ok bool) {
+		if ok || regs != nil {
+			t.Errorf("abort delivered regs=%v ok=%v", regs, ok)
+		}
+		aborted = true
+	})
+	leader.Abort()
+	if !aborted {
+		t.Fatal("waiter not notified on abort")
+	}
+	// The key is free again: the next lookup leads a fresh flight.
+	if _, _, st := c.Lookup(k, nil); st != Leading {
+		t.Fatalf("post-abort lookup: status %v, want Leading", st)
+	}
+	// Fulfill after Abort must not resurrect the old flight's entry.
+	leader.Fulfill(regsOf(1))
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("entries %d after fulfill-after-abort, want 0", s.Entries)
+	}
+}
+
+func TestDoubleResolveIsIdempotent(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20})
+	_, fl, _ := c.Lookup(key(1, "A"), nil)
+	fl.Fulfill(regsOf(1))
+	fl.Fulfill(regsOf(2)) // ignored
+	fl.Abort()            // ignored
+	regs, _, st := c.Lookup(key(1, "A"), nil)
+	if st != Hit || regs[0].Score != 1 {
+		t.Fatalf("status %v regs %v, want original fulfill to stick", st, regs)
+	}
+}
+
+func TestLRUEvictionUnderPressure(t *testing.T) {
+	// One shard so eviction order is globally observable; capacity sized
+	// for only a handful of entries.
+	c := New(Config{Capacity: 1000, Shards: 1})
+	fill := func(i int) {
+		_, fl, st := c.Lookup(key(1, fmt.Sprintf("seq-%04d", i)), nil)
+		if st != Leading {
+			t.Fatalf("fill %d: status %v", i, st)
+		}
+		fl.Fulfill(regsOf(i))
+	}
+	for i := 0; i < 50; i++ {
+		fill(i)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("no evictions despite 50 entries into a 1000-byte cache")
+	}
+	if s.Bytes > s.Capacity {
+		t.Fatalf("resident %d bytes exceeds capacity %d", s.Bytes, s.Capacity)
+	}
+	if s.Entries != s.Misses-s.Evictions {
+		t.Fatalf("entries %d != misses %d - evictions %d", s.Entries, s.Misses, s.Evictions)
+	}
+	// The most recent insert survives; the oldest is gone.
+	if _, _, st := c.Lookup(key(1, "seq-0049"), nil); st != Hit {
+		t.Fatalf("newest entry evicted (status %v)", st)
+	}
+	if _, fl, st := c.Lookup(key(1, "seq-0000"), nil); st != Leading {
+		t.Fatalf("oldest entry survived (status %v)", st)
+	} else {
+		fl.Abort()
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	// Three entries fit; touching the oldest must make the middle one the
+	// eviction victim.
+	c := New(Config{Capacity: 3 * (8 + 5 + regionBytes + entryOverhead), Shards: 1})
+	for i := 0; i < 3; i++ {
+		_, fl, _ := c.Lookup(key(1, fmt.Sprintf("key-%d", i)), nil)
+		fl.Fulfill(regsOf(i))
+	}
+	if _, _, st := c.Lookup(key(1, "key-0"), nil); st != Hit {
+		t.Fatal("key-0 missing before pressure")
+	}
+	_, fl, _ := c.Lookup(key(1, "key-3"), nil)
+	fl.Fulfill(regsOf(3))
+	if _, _, st := c.Lookup(key(1, "key-0"), nil); st != Hit {
+		t.Fatal("recently touched key-0 was evicted")
+	}
+	if _, fl, st := c.Lookup(key(1, "key-1"), nil); st != Leading {
+		t.Fatalf("LRU victim key-1 still resident (status %v)", st)
+	} else {
+		fl.Abort()
+	}
+}
+
+func TestPendingEntriesAreNotEvicted(t *testing.T) {
+	c := New(Config{Capacity: 500, Shards: 1})
+	_, pending, st := c.Lookup(key(1, "inflight"), nil)
+	if st != Leading {
+		t.Fatal("expected Leading")
+	}
+	// Blow well past capacity with ready entries.
+	for i := 0; i < 30; i++ {
+		_, fl, _ := c.Lookup(key(1, fmt.Sprintf("fill-%d", i)), nil)
+		fl.Fulfill(regsOf(i))
+	}
+	// The pending entry must still be joinable.
+	if _, _, st := c.Lookup(key(1, "inflight"), func([]core.Region, bool) {}); st != Joined {
+		t.Fatalf("pending entry lost under pressure (status %v)", st)
+	}
+	pending.Fulfill(regsOf(99))
+}
+
+// TestConcurrentSingleFlight hammers one hot key plus a spread of cold keys
+// from many goroutines under -race: every lookup must resolve exactly once,
+// and the sum of hits+misses+coalesced must equal the lookups issued.
+func TestConcurrentSingleFlight(t *testing.T) {
+	c := New(Config{Capacity: 1 << 18, Shards: 8})
+	const goroutines = 16
+	const perG = 200
+	var resolved atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var done sync.WaitGroup
+			for i := 0; i < perG; i++ {
+				// Every 4th lookup targets the shared hot key.
+				s := "hot"
+				if i%4 != 0 {
+					s = fmt.Sprintf("cold-%d-%d", g, i)
+				}
+				done.Add(1) // before Lookup: a Joined callback can fire immediately
+				regs, fl, st := c.Lookup(key(1, s), func(r []core.Region, ok bool) {
+					if ok && (len(r) != 1 || r[0].Score != len(s)) {
+						t.Errorf("waiter for %q got %v", s, r)
+					}
+					resolved.Add(1)
+					done.Done()
+				})
+				switch st {
+				case Hit:
+					if len(regs) != 1 || regs[0].Score != len(s) {
+						t.Errorf("hit for %q got %v", s, regs)
+					}
+					resolved.Add(1)
+					done.Done()
+				case Leading:
+					fl.Fulfill(regsOf(len(s)))
+					resolved.Add(1)
+					done.Done()
+				case Joined:
+					// the callback runs done.Done
+				}
+			}
+			done.Wait()
+		}()
+	}
+	wg.Wait()
+	total := int64(goroutines * perG)
+	if resolved.Load() != total {
+		t.Fatalf("resolved %d of %d lookups", resolved.Load(), total)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses+s.Coalesced != total {
+		t.Fatalf("hits %d + misses %d + coalesced %d != %d", s.Hits, s.Misses, s.Coalesced, total)
+	}
+}
+
+func TestShardCountRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, DefaultShards}, {1, 1}, {3, 4}, {8, 8}, {9, 16}} {
+		c := New(Config{Capacity: 1 << 20, Shards: tc.in})
+		if len(c.shards) != tc.want {
+			t.Errorf("Shards %d -> %d shards, want %d", tc.in, len(c.shards), tc.want)
+		}
+	}
+}

@@ -2,7 +2,18 @@
 // aligner: the 2-bit nucleotide alphabet, encoding and decoding between ASCII
 // and numeric codes, complementation, and the packed reference representation
 // (forward strand concatenated with its reverse complement) over which the
-// FM-index is built, exactly as in BWA-MEM.
+// FM-index is built, exactly as in BWA-MEM. It also holds the streaming
+// input decoders (FastqScanner, DecodeJSONReads) the server uses to
+// validate request bodies as they arrive.
+//
+// # Concurrency contract
+//
+// The encoding/complement functions are pure and safe from any goroutine.
+// A Reference is immutable once built and may be shared by every worker in
+// the process — the alignment server relies on this to keep one resident
+// reference under a whole pool. The stateful decoders (FastqScanner,
+// ReadFasta, DecodeJSONReads) are single-goroutine: one decoder per
+// input stream, never shared.
 package seq
 
 import "fmt"

@@ -38,6 +38,12 @@ import (
 // statistics are inferred per request (as RunPaired infers them per run),
 // so merging would change pairing decisions. They share the scheduler's
 // worker pool instead (see Server.handleAlignPaired).
+//
+// Callers feed the coalescer two ways: Align is the self-contained form
+// (build routing, enqueue, wait), used when the result cache is off; the
+// cache path (cache.go) builds pendRead items itself — only cache-leading
+// reads enter the queue — and uses Enqueue plus waitReads so hits and
+// single-flight joins can complete outside the batch queue entirely.
 type coalescer struct {
 	sched  *pipeline.Scheduler
 	batch  int
@@ -54,20 +60,35 @@ type coalescer struct {
 	partialFlushes atomic.Int64 // batches flushed below the target size
 }
 
-// reqState is the per-Align-call state shared by that request's pending
+// reqState is the per-request state shared by that request's pending
 // reads, letting a batch worker observe cancellation cheaply.
 type reqState struct {
 	cancelled atomic.Bool
+	// failed records that some read of the request was dropped for a
+	// reason other than the request's own cancellation (coalescer closed
+	// under it), so the handler can report an error instead of returning
+	// a silently short response.
+	failed atomic.Bool
 }
 
 // pendRead is one read awaiting batching, with its output routing and
-// completion callback.
+// completion callbacks.
 type pendRead struct {
 	rd   *seq.Read
 	code []byte
-	idx  int                  // index within the owning request
+	idx  int                     // index within the owning request
 	emit func(i int, rec []byte) // receives the read's SAM record
-	done func()
+	// onRegs, when non-nil, observes the read's raw alignment regions on
+	// the batch worker before SAM formatting. The result cache uses it to
+	// fulfill the read's single-flight entry, so duplicates parked on this
+	// read unblock without waiting for its record to be rendered. The
+	// regions are retained by the observer and must not be mutated.
+	onRegs func(regs []core.Region)
+	// done fires exactly once per read: aligned=true after emit, or
+	// aligned=false when the read was dropped unaligned (request cancelled
+	// while it waited). Cache leaders use aligned=false to abort their
+	// flight so parked duplicates can retry.
+	done func(aligned bool)
 	st   *reqState
 }
 
@@ -88,19 +109,35 @@ func (c *coalescer) Align(ctx context.Context, reads []seq.Read, emit func(i int
 	st := &reqState{}
 	var wg sync.WaitGroup
 	wg.Add(len(reads))
+	dn := func(bool) { wg.Done() }
 	pend := make([]pendRead, len(reads))
 	for i := range reads {
 		// Encoding stays outside the stage clocks, mirroring pipeline.Run.
 		pend[i] = pendRead{rd: &reads[i], code: seq.Encode(reads[i].Seq),
-			idx: i, emit: emit, done: wg.Done, st: st}
+			idx: i, emit: emit, done: dn, st: st}
 	}
+	if err := c.Enqueue(pend); err != nil {
+		return err
+	}
+	return c.waitReads(ctx, st, &wg)
+}
 
+// Enqueue adds already-routed reads to the pending queue, cutting and
+// submitting every full batch (plus the remainder when lingering is off or
+// the server is draining). Unlike Align it does not wait: each item's done
+// callback reports its completion, and the caller owns request-level
+// waiting (see waitReads). May block briefly on scheduler backpressure.
+// Returns errDraining once the coalescer is closed.
+func (c *coalescer) Enqueue(items []pendRead) error {
+	if len(items) == 0 {
+		return nil
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return errDraining
 	}
-	c.pend = append(c.pend, pend...)
+	c.pend = append(c.pend, items...)
 	batches := c.cutLocked(c.linger < 0 || c.draining)
 	if len(c.pend) > 0 && c.linger >= 0 && c.timer == nil {
 		c.timer = time.AfterFunc(c.linger, c.flushPartial)
@@ -108,7 +145,16 @@ func (c *coalescer) Align(ctx context.Context, reads []seq.Read, emit func(i int
 	c.mu.Unlock()
 
 	c.submit(batches)
+	return nil
+}
 
+// waitReads blocks until every read of the request (tracked by wg) has
+// completed, or ctx ends — in which case the request's reads still in the
+// pending queue are evicted unaligned and ctx.Err() is returned. In-flight
+// batches finish on their own; the residual wait is bounded by work
+// already running (and, for cache-path requests, by duplicates parked on
+// other live requests' flights).
+func (c *coalescer) waitReads(ctx context.Context, st *reqState, wg *sync.WaitGroup) error {
 	if ctx.Done() == nil { // uncancellable: wait without the extra goroutine
 		wg.Wait()
 		return nil
@@ -133,10 +179,11 @@ func (c *coalescer) Align(ctx context.Context, reads []seq.Read, emit func(i int
 }
 
 // evict removes a cancelled request's reads from the pending queue,
-// completing them unaligned so the request's Align call can return.
+// completing them unaligned (done(false), which lets cache leaders abort
+// their flights) so the request's wait can return.
 func (c *coalescer) evict(st *reqState) {
 	c.mu.Lock()
-	var evicted []func()
+	var evicted []func(bool)
 	kept := c.pend[:0]
 	for _, pr := range c.pend {
 		if pr.st == st {
@@ -151,7 +198,7 @@ func (c *coalescer) evict(st *reqState) {
 	c.pend = kept
 	c.mu.Unlock()
 	for _, done := range evicted {
-		done()
+		done(false)
 	}
 }
 
@@ -231,7 +278,7 @@ func (c *coalescer) runBatch(batch []pendRead, ws *core.Workspace) {
 	live := make([]pendRead, 0, len(batch))
 	for i := range batch {
 		if batch[i].st != nil && batch[i].st.cancelled.Load() {
-			batch[i].done()
+			batch[i].done(false)
 			continue
 		}
 		live = append(live, batch[i])
@@ -245,11 +292,18 @@ func (c *coalescer) runBatch(batch []pendRead, ws *core.Workspace) {
 		codes[i] = live[i].code
 	}
 	regs := a.AlignBatch(codes, ws)
+	// Publish raw regions first (cache fulfillment): duplicates parked on
+	// these reads unblock before this worker starts rendering SAM.
+	for i := range live {
+		if live[i].onRegs != nil {
+			live[i].onRegs(regs[i])
+		}
+	}
 	t0 := time.Now()
 	for i := range live {
 		rec := a.AppendSAM(nil, live[i].rd, live[i].code, regs[i])
 		live[i].emit(live[i].idx, rec)
-		live[i].done()
+		live[i].done(true)
 	}
 	ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
 }

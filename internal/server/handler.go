@@ -389,7 +389,16 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	w.Header().Set("Content-Type", "text/x-sam")
 	st := newSAMStreamer(w, s.responseHeader(r), len(reads))
-	s.finishStream(w, st, 1, s.coal.Align(ctx, reads, st.Complete))
+	if s.cache != nil {
+		// Result cache between admission and the coalescer: duplicate
+		// sequences are served from cached regions (re-rendered with this
+		// read's name, so output is byte-identical) or single-flighted
+		// behind an identical in-flight read. See cache.go.
+		err = s.alignCached(ctx, reads, st)
+	} else {
+		err = s.coal.Align(ctx, reads, st.Complete)
+	}
+	s.finishStream(w, st, 1, err)
 }
 
 // handleAlignPaired serves POST /align/paired: pairs in (interleaved FASTQ
@@ -397,7 +406,10 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 // stage completes. Each request is one paired-run unit — insert-size
 // statistics come from this request's pairs alone — but its batches share
 // the worker pool with everything else in flight, and a cancelled
-// request's unstarted batches are dropped from the queue.
+// request's unstarted batches are dropped from the queue. Paired requests
+// always bypass the result cache: pairing rescue and insert-size inference
+// are cross-read state, so a pair's records are not a pure function of one
+// read's sequence.
 func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.met.badRequests.Add(1)

@@ -8,8 +8,10 @@ import (
 )
 
 // metrics aggregates the server-level counters exposed on /metrics. Stage
-// timings come from the scheduler's AtomicClock; everything here is the
-// request-plane view (what came in, what was shed, what went out).
+// timings come from the scheduler's AtomicClock and cache counters from
+// rescache.Cache.Stats; everything here is the request-plane view (what
+// came in, what was shed, what went out). Every field is documented in
+// README.md's /metrics reference table — keep the two in sync.
 type metrics struct {
 	start time.Time
 
@@ -54,8 +56,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bwaserve_sam_bytes_total %d\n", m.samBytes.Load())
 	fmt.Fprintf(w, "bwaserve_batches_total %d\n", s.coal.batches.Load())
 	fmt.Fprintf(w, "bwaserve_partial_batches_total %d\n", s.coal.partialFlushes.Load())
+	fmt.Fprintf(w, "bwaserve_cache_enabled %d\n", boolGauge(s.cache != nil))
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		fmt.Fprintf(w, "bwaserve_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(w, "bwaserve_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "bwaserve_cache_coalesced_total %d\n", cs.Coalesced)
+		fmt.Fprintf(w, "bwaserve_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "bwaserve_cache_entries %d\n", cs.Entries)
+		fmt.Fprintf(w, "bwaserve_cache_resident_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(w, "bwaserve_cache_capacity_bytes %d\n", cs.Capacity)
+	}
 	clock := s.sched.Clock()
 	clock.WriteMetrics(w, "bwaserve")
+}
+
+// boolGauge renders a flag as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // handleHealthz reports liveness plus the numbers an orchestrator's probe

@@ -6,12 +6,15 @@
 // The request path is: HTTP handler → incremental body decode (per-read
 // validation and the request read cap apply while the body streams in) →
 // admission control (bounded in-flight reads, immediate 429 under
-// overload) → cross-request batch coalescer → shared worker pool with
-// per-worker reusable scratch → per-read SAM records streamed back to each
-// caller in input order, chunk by chunk as batches complete. Responses are
-// byte-identical to a one-shot pipeline.Run / RunPaired over the same
-// reads, which is the subsystem's correctness contract and is enforced by
-// tests.
+// overload) → result cache (single-end duplicates served from cached
+// regions, concurrent duplicates single-flighted; internal/rescache) →
+// cross-request batch coalescer → shared worker pool with per-worker
+// reusable scratch → per-read SAM records streamed back to each caller in
+// input order, chunk by chunk as batches complete and immediately for
+// cache hits. Responses are byte-identical to a one-shot pipeline.Run /
+// RunPaired over the same reads, which is the subsystem's correctness
+// contract and is enforced by tests. ARCHITECTURE.md (repo root) walks the
+// whole path with a data-flow diagram.
 //
 // Every request's alignment work runs under its own context — the client's
 // connection context bounded by ServerConfig.RequestTimeout. When it ends
@@ -29,6 +32,20 @@
 //
 // SAM responses include the @SQ/@PG header by default; ?header=0 returns
 // records only.
+//
+// # Concurrency contract
+//
+// A Server's exported surface (ServeHTTP, Handler, Config, Shutdown,
+// Close) is safe for concurrent use; the HTTP library calls the handlers
+// from one goroutine per request. Internally each layer has a narrower
+// contract, stated on its type: admission is a mutex-guarded semaphore;
+// the coalescer may be fed from any number of request goroutines while
+// batch workers drain it; samStreamer.Complete may be called from many
+// workers but all socket writes happen on the request-owned writer
+// goroutine; rescache is fully concurrent with per-shard locking. Emit
+// and completion callbacks handed to the coalescer and cache run on
+// pipeline-worker goroutines (or the resolving goroutine, for flight
+// aborts) and must not block on the client — that is the streamer's job.
 package server
 
 import (
@@ -41,19 +58,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/rescache"
 )
 
 // Server is one alignment service instance over one resident index. Create
 // with New, expose via Handler, stop with Shutdown (drains) or Close.
 type Server struct {
-	cfg       core.ServerConfig
-	bodyLimit int64
-	samHeader string // constant for the server's lifetime; built once
-	sched     *pipeline.Scheduler
-	coal      *coalescer
-	adm       *admission
-	met       *metrics
-	mux       *http.ServeMux
+	cfg         core.ServerConfig
+	bodyLimit   int64
+	samHeader   string // constant for the server's lifetime; built once
+	sched       *pipeline.Scheduler
+	coal        *coalescer
+	adm         *admission
+	met         *metrics
+	cache       *rescache.Cache // single-end result cache; nil when disabled
+	optFP       uint64          // option fingerprint for cache keys
+	renderSlots chan struct{}   // bounds concurrent off-worker hit renders (cache.go)
+	mux         *http.ServeMux
 
 	drainFlag atomic.Bool
 	closed    atomic.Bool
@@ -81,6 +102,11 @@ func New(aln *core.Aligner, cfg core.ServerConfig) (*Server, error) {
 		adm:       newAdmission(cfg.MaxInFlightReads),
 		met:       newMetrics(),
 		mux:       http.NewServeMux(),
+	}
+	if cfg.CacheEnabled {
+		s.cache = rescache.New(rescache.Config{Capacity: cfg.CacheBytes, Shards: cfg.CacheShards})
+		s.optFP = aln.Opts.Fingerprint(aln.Mode)
+		s.renderSlots = make(chan struct{}, 4*cfg.Threads)
 	}
 	s.mux.HandleFunc("/align", s.handleAlign)
 	s.mux.HandleFunc("/align/paired", s.handleAlignPaired)

@@ -29,7 +29,7 @@ var fixture struct {
 	err   error
 }
 
-func setup(t *testing.T) (*core.Aligner, []seq.Read, []seq.Read, []seq.Read) {
+func setup(t testing.TB) (*core.Aligner, []seq.Read, []seq.Read, []seq.Read) {
 	t.Helper()
 	fixture.once.Do(func() {
 		ref, err := datasets.Genome(datasets.DefaultGenome("chr1", 60000, 21))
@@ -63,7 +63,7 @@ func testConfig() core.ServerConfig {
 	return cfg
 }
 
-func newTestServer(t *testing.T, cfg core.ServerConfig) *Server {
+func newTestServer(t testing.TB, cfg core.ServerConfig) *Server {
 	t.Helper()
 	aln, _, _, _ := setup(t)
 	s, err := New(aln, cfg)

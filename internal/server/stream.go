@@ -12,7 +12,10 @@ import (
 // longest contiguous completed prefix to the client and flushes it, so the
 // first bytes of a large response leave while most of the request is still
 // being aligned — instead of buffering the whole SAM body as the
-// pre-streaming server did.
+// pre-streaming server did. Completion order is unconstrained: result-
+// cache hits complete their slots at dispatch time, before any batch has
+// run (or even been cut), so a duplicate-heavy request can start
+// streaming the moment its handler finishes the cache pass.
 //
 // The socket write happens ONLY on the request-owned writer goroutine,
 // never on a pool worker: Complete is O(1) bookkeeping under a mutex, so a

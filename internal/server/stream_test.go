@@ -24,7 +24,7 @@ import (
 func TestStreamedFirstByteBeforeCompletion(t *testing.T) {
 	aln, reads, _, _ := setup(t)
 	cfg := testConfig()
-	cfg.Threads = 1  // serialize batches so the tail is still queued
+	cfg.Threads = 1 // serialize batches so the tail is still queued
 	cfg.BatchSize = 32
 	s := newTestServer(t, cfg)
 	ts := httptest.NewServer(s)
