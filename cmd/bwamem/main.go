@@ -37,7 +37,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  bwamem index <ref.fa>
+  bwamem index [-format v2|v1] [-o out.bwago] <ref.fa>
   bwamem mem [-t N] [-mode baseline|optimized] [-a] [-T score] <ref.fa[.bwago]> <reads.fq> [mates.fq]
 `)
 	os.Exit(2)
@@ -51,9 +51,13 @@ func die(err error) {
 func cmdIndex(args []string) {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	out := fs.String("o", "", "output index path (default <ref>.bwago)")
+	format := fs.String("format", "v2", "index format: v2 (page-aligned, mmap-able) or v1 (legacy)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
+	}
+	if *format != "v1" && *format != "v2" {
+		die(fmt.Errorf("unknown index format %q (want v1 or v2)", *format))
 	}
 	refPath := fs.Arg(0)
 	f, err := os.Open(refPath)
@@ -79,13 +83,19 @@ func cmdIndex(args []string) {
 	if err != nil {
 		die(err)
 	}
-	if err := pi.WriteIndex(w); err != nil {
+	if *format == "v1" {
+		err = pi.WriteIndex(w)
+	} else {
+		err = pi.WriteIndexV2(w)
+	}
+	if err != nil {
+		w.Close()
 		die(err)
 	}
 	if err := w.Close(); err != nil {
 		die(err)
 	}
-	fmt.Fprintf(os.Stderr, "[index] wrote %s\n", path)
+	fmt.Fprintf(os.Stderr, "[index] wrote %s (format %s)\n", path, *format)
 }
 
 func loadOrBuild(refPath string) (*core.Prebuilt, error) {

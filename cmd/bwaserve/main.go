@@ -3,9 +3,15 @@
 // and serves single-end and paired-end alignment requests over HTTP,
 // multiplexing concurrent callers onto the paper's batch-staged pipeline.
 //
-//	bwaserve -addr :8080 ref.fa              serve a FASTA reference
-//	bwaserve -addr :8080 ref.fa.bwago        serve a prebuilt index
-//	bwaserve -addr :8080 -synthetic 200000   serve a synthetic genome (demo)
+//	bwaserve -addr :8080 ref.fa                        serve a FASTA reference
+//	bwaserve -addr :8080 ref.fa.bwago                  serve a prebuilt index
+//	bwaserve -addr :8080 -index-mmap ref.fa.bwago      mmap a v2 index (shared page cache)
+//	bwaserve -addr :8080 -synthetic 200000             serve a synthetic genome (demo)
+//
+// With -index-mmap the (v2) index is mapped read-only instead of copied to
+// the heap: start-up is near-instant regardless of index size and N
+// bwaserve processes serving the same reference share one page-cached copy.
+// The mapping is unmapped only after the graceful drain completes.
 //
 // Endpoints: POST /align, POST /align/paired, GET /healthz, GET /metrics.
 // Request bodies are decoded incrementally and SAM responses are streamed
@@ -58,6 +64,7 @@ func main() {
 	cacheBytes := fs.Int64("cache-bytes", core.DefaultCacheBytes, "result-cache capacity in bytes")
 	cacheShards := fs.Int("cache-shards", core.DefaultCacheShards, "result-cache shard count (rounded up to a power of two)")
 	drain := fs.Duration("drain", core.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+	indexMmap := fs.Bool("index-mmap", false, "mmap the v2 .bwago index read-only instead of heap-loading it (many server processes share one page-cached copy)")
 	synthetic := fs.Int("synthetic", 0, "serve a synthetic genome of this many bp instead of a reference file")
 	seed := fs.Int64("seed", 42, "seed for -synthetic")
 	fs.Usage = func() {
@@ -87,16 +94,19 @@ func main() {
 		die(fmt.Errorf("unknown mode %q", *modeStr))
 	}
 
-	aln, err := buildAligner(fs.Args(), *synthetic, *seed, cfg.Mode)
+	li, err := buildAligner(fs.Args(), *synthetic, *seed, cfg.Mode, *indexMmap)
 	if err != nil {
 		die(err)
 	}
+	aln := li.aln
 	srv, err := server.New(aln, cfg)
 	if err != nil {
 		die(err)
 	}
-	fmt.Fprintf(os.Stderr, "[bwaserve] index resident: %d contigs, %d bp; %d workers, batch %d, %s mode\n",
-		len(aln.Ref.Contigs), aln.Ref.Lpac(), srv.Config().Threads, srv.Config().BatchSize, cfg.Mode)
+	srv.SetIndexInfo(li.info)
+	fmt.Fprintf(os.Stderr, "[bwaserve] index resident: %d contigs, %d bp (%s, %d MiB, loaded in %v); %d workers, batch %d, %s mode\n",
+		len(aln.Ref.Contigs), aln.Ref.Lpac(), li.info.Source, li.info.ResidentBytes>>20,
+		li.info.LoadTime.Round(time.Millisecond), srv.Config().Threads, srv.Config().BatchSize, cfg.Mode)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
@@ -111,8 +121,9 @@ func main() {
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "[bwaserve] %v: draining (timeout %v)\n", sig, cfg.DrainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "[bwaserve]", err)
+		drainErr := srv.Shutdown(ctx)
+		if drainErr != nil {
+			fmt.Fprintln(os.Stderr, "[bwaserve]", drainErr)
 		}
 		cancel()
 		// The HTTP connection drain gets its own budget: clients may still
@@ -122,6 +133,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "[bwaserve]", err)
 		}
 		hcancel()
+		// Unmap only now: the scheduler has drained and no worker can still
+		// touch slices borrowed from the mapping. If the drain timed out,
+		// straggler workers may still be running — leave the mapping to
+		// process exit rather than faulting them.
+		if li.mapped != nil && drainErr == nil {
+			if err := li.mapped.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "[bwaserve]", err)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "[bwaserve] bye")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -130,47 +150,58 @@ func main() {
 	}
 }
 
-// buildAligner resolves the reference source: a prebuilt .bwago index, a
-// FASTA file (indexed in memory), or a synthetic genome.
-func buildAligner(args []string, synthetic int, seed int64, mode core.Mode) (*core.Aligner, error) {
+// loadedIndex is buildAligner's result: the ready aligner, the /metrics
+// description of how it was loaded, and — when -index-mmap is in effect —
+// the mapping whose lifetime must outlive the drained scheduler.
+type loadedIndex struct {
+	aln    *core.Aligner
+	info   server.IndexInfo
+	mapped *core.MappedIndex // non-nil only for mmap loads; Close after drain
+}
+
+// buildAligner resolves the reference source: a prebuilt .bwago index
+// (heap-loaded, or mmap'd with -index-mmap), a FASTA file (indexed in
+// memory, preferring a sibling .bwago), or a synthetic genome.
+func buildAligner(args []string, synthetic int, seed int64, mode core.Mode, useMmap bool) (*loadedIndex, error) {
 	opts := core.DefaultOptions()
 	if synthetic > 0 {
 		if len(args) != 0 {
 			return nil, fmt.Errorf("-synthetic and a reference path are mutually exclusive")
+		}
+		if useMmap {
+			return nil, fmt.Errorf("-index-mmap needs a prebuilt .bwago index, not -synthetic")
 		}
 		ref, err := datasets.Genome(datasets.DefaultGenome("synthetic", synthetic, seed))
 		if err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "[bwaserve] generated synthetic genome: %d bp (seed %d)\n", synthetic, seed)
-		return core.NewAligner(ref, mode, opts)
+		start := time.Now()
+		aln, err := core.NewAligner(ref, mode, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &loadedIndex{aln: aln, info: server.IndexInfo{
+			Source: "synthetic-build", LoadTime: time.Since(start), ResidentBytes: aln.IndexFootprint(),
+		}}, nil
 	}
 	if len(args) != 1 {
 		return nil, fmt.Errorf("expected one reference path (or -synthetic); run with -h for usage")
 	}
 	path := args[0]
-	if strings.HasSuffix(path, ".bwago") {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		pi, err := core.ReadIndex(f)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "[bwaserve] loaded prebuilt index %s\n", path)
-		return core.NewAlignerFrom(pi, mode, opts)
+	idxPath := path
+	if !strings.HasSuffix(idxPath, ".bwago") {
+		idxPath += ".bwago"
 	}
-	// FASTA: prefer a sibling prebuilt index when present.
-	if f, err := os.Open(path + ".bwago"); err == nil {
-		defer f.Close()
-		pi, err := core.ReadIndex(f)
-		if err != nil {
-			return nil, err
+	if _, err := os.Stat(idxPath); err == nil {
+		return loadPrebuilt(idxPath, mode, opts, useMmap)
+	} else if idxPath == path || useMmap {
+		// An explicit .bwago argument (or -index-mmap, which cannot build)
+		// must not silently fall back to FASTA parsing.
+		if useMmap {
+			return nil, fmt.Errorf("-index-mmap needs a prebuilt index: %s not found (build it with `bwamem index %s`)", idxPath, path)
 		}
-		fmt.Fprintf(os.Stderr, "[bwaserve] loaded prebuilt index %s.bwago\n", path)
-		return core.NewAlignerFrom(pi, mode, opts)
+		return nil, err
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -189,5 +220,49 @@ func buildAligner(args []string, synthetic int, seed int64, mode core.Mode) (*co
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "[bwaserve] index built in %v\n", time.Since(start).Round(time.Millisecond))
-	return aln, nil
+	return &loadedIndex{aln: aln, info: server.IndexInfo{
+		Source: "fasta-build", LoadTime: time.Since(start), ResidentBytes: aln.IndexFootprint(),
+	}}, nil
+}
+
+// loadPrebuilt loads a .bwago file onto the heap or maps it, timing the
+// path from open to ready aligner.
+func loadPrebuilt(idxPath string, mode core.Mode, opts core.Options, useMmap bool) (*loadedIndex, error) {
+	start := time.Now()
+	if useMmap {
+		mi, err := core.OpenIndexMmap(idxPath)
+		if err != nil {
+			return nil, err
+		}
+		aln, err := core.NewAlignerFrom(&mi.Prebuilt, mode, opts)
+		if err != nil {
+			mi.Close()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "[bwaserve] mmap'd prebuilt index %s\n", idxPath)
+		return &loadedIndex{aln: aln, mapped: mi, info: server.IndexInfo{
+			Source: "v2-mmap", Mmap: true, LoadTime: time.Since(start), ResidentBytes: mi.MappedBytes(),
+		}}, nil
+	}
+	f, err := os.Open(idxPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pi, err := core.ReadIndex(f)
+	if err != nil {
+		return nil, err
+	}
+	aln, err := core.NewAlignerFrom(pi, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	source := "v1-heap"
+	if pi.Occ32 != nil {
+		source = "v2-heap"
+	}
+	fmt.Fprintf(os.Stderr, "[bwaserve] loaded prebuilt index %s\n", idxPath)
+	return &loadedIndex{aln: aln, info: server.IndexInfo{
+		Source: source, LoadTime: time.Since(start), ResidentBytes: aln.IndexFootprint(),
+	}}, nil
 }

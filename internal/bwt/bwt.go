@@ -80,6 +80,54 @@ func FromSA(text []byte, sa []int32) (*BWT, []int32) {
 	return b, full
 }
 
+// FromStored reconstructs a BWT from its stored column and primary row as
+// read from an index file, recomputing Counts and C. The column is scanned
+// once to validate the codes and count the bases; b0 is borrowed, not
+// copied, so the caller must keep it immutable for the BWT's lifetime.
+func FromStored(b0 []byte, primary int) (*BWT, error) {
+	b := &BWT{N: len(b0), Primary: primary, B0: b0}
+	for i, c := range b0 {
+		if c > 3 {
+			return nil, fmt.Errorf("bwt: stored column[%d] = %d is not a 2-bit base code", i, c)
+		}
+		b.Counts[c]++
+	}
+	return b, b.finish()
+}
+
+// FromStoredCounts reconstructs a BWT from its stored column, primary row
+// and precomputed base counts without scanning the column — the zero-copy
+// path over a memory-mapped index, where paging in the whole column just to
+// recount it would defeat the mapping. The caller vouches for counts (the
+// index writer computed them and the file checksum covers them); only the
+// invariants checkable in O(1) are validated here.
+func FromStoredCounts(b0 []byte, primary int, counts [4]int) (*BWT, error) {
+	b := &BWT{N: len(b0), Primary: primary, B0: b0, Counts: counts}
+	sum := 0
+	for c, v := range counts {
+		if v < 0 {
+			return nil, fmt.Errorf("bwt: negative stored count %d for base %d", v, c)
+		}
+		sum += v
+	}
+	if sum != len(b0) {
+		return nil, fmt.Errorf("bwt: stored counts sum to %d, column length is %d", sum, len(b0))
+	}
+	return b, b.finish()
+}
+
+// finish derives C from Counts and validates the primary row.
+func (b *BWT) finish() error {
+	if b.N > 0 && (b.Primary < 1 || b.Primary > b.N) {
+		return fmt.Errorf("bwt: primary row %d outside [1, %d]", b.Primary, b.N)
+	}
+	b.C[0] = 1 // row 0 is the sentinel suffix
+	for c := 0; c < 4; c++ {
+		b.C[c+1] = b.C[c] + b.Counts[c]
+	}
+	return nil
+}
+
 // Rows returns the number of rows of the BW matrix, N+1.
 func (b *BWT) Rows() int { return b.N + 1 }
 

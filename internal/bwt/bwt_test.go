@@ -184,3 +184,49 @@ func TestLFCycle(t *testing.T) {
 		}
 	}
 }
+
+func TestFromStoredMatchesFromText(t *testing.T) {
+	text := seq.Encode([]byte("ACGTACGTTTACGGCAGGCATTACG"))
+	want, _, err := FromText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromStored(want.B0, want.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.Primary != want.Primary || got.Counts != want.Counts || got.C != want.C {
+		t.Fatalf("FromStored = %+v, want %+v", got, want)
+	}
+	trusted, err := FromStoredCounts(want.B0, want.Primary, want.Counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trusted.C != want.C || trusted.Counts != want.Counts {
+		t.Fatalf("FromStoredCounts = %+v, want %+v", trusted, want)
+	}
+}
+
+func TestFromStoredRejectsBadInput(t *testing.T) {
+	text := seq.Encode([]byte("ACGTACGTTTACGGCA"))
+	b, _, _ := FromText(text)
+	bad := append([]byte(nil), b.B0...)
+	bad[3] = 7
+	if _, err := FromStored(bad, b.Primary); err == nil {
+		t.Fatal("column with a non-base code should not parse")
+	}
+	if _, err := FromStored(b.B0, 0); err == nil {
+		t.Fatal("primary row 0 should not parse")
+	}
+	if _, err := FromStored(b.B0, b.N+1); err == nil {
+		t.Fatal("primary row beyond N should not parse")
+	}
+	wrong := b.Counts
+	wrong[0]++
+	if _, err := FromStoredCounts(b.B0, b.Primary, wrong); err == nil {
+		t.Fatal("counts not summing to the column length should not parse")
+	}
+	if _, err := FromStoredCounts(b.B0, b.Primary, [4]int{-1, 1, len(b.B0), 0}); err == nil {
+		t.Fatal("negative count should not parse")
+	}
+}

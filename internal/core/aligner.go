@@ -81,6 +81,16 @@ func NewAligner(ref *seq.Reference, mode Mode, opts Options) (*Aligner, error) {
 	return a, nil
 }
 
+// IndexFootprint returns the bytes of index data the aligner addresses:
+// packed reference, BWT column, occurrence table, and the suffix-array
+// lookup structure. Over a heap-loaded index this is private resident
+// memory; over an mmap'd index the same bytes are file-backed and shared
+// with every other process mapping the file.
+func (a *Aligner) IndexFootprint() int64 {
+	return int64(len(a.Ref.Pac)) + int64(len(a.Idx.B.B0)) +
+		int64(a.Idx.MemFootprint()) + int64(a.SA.MemFootprint())
+}
+
 // ridOf resolves a doubled-reference span to a contig id, or -1 when the
 // span bridges contigs or the forward/reverse boundary (bns_intv2rid).
 func (a *Aligner) ridOf(rb, re int) int {

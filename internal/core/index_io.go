@@ -1,3 +1,19 @@
+// On-disk index I/O. Two formats share the 8-byte magic and a version
+// field:
+//
+//   - v1 — the legacy compact stream: 32-bit length fields, sections packed
+//     back to back, no checksums. Still readable (heap load only) so
+//     existing .bwago files keep working; the writer refuses references
+//     whose lengths do not fit 32 bits instead of silently truncating.
+//
+//   - v2 — the page-aligned layout in index_v2.go: 64-bit lengths,
+//     per-section offsets and CRCs, persisted occurrence tables, and
+//     mmap-ability (OpenIndexMmap in index_mmap.go).
+//
+// Both readers run the same consistency pass (Prebuilt.validate) before
+// returning, and both bound every allocation by the claimed remaining input
+// so a truncated or adversarial file yields a "corrupt index" error rather
+// than an OOM.
 package core
 
 import (
@@ -5,6 +21,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"slices"
 
 	"repro/internal/bwt"
 	"repro/internal/fmindex"
@@ -13,14 +31,22 @@ import (
 )
 
 // Prebuilt bundles everything expensive about an index — the packed
-// reference, the BWT and the full suffix array — so it can be written to
-// disk once ("bwamem index") and reused by any aligner mode. The
-// occurrence tables are rebuilt on load (a linear scan, negligible next to
-// suffix-array construction).
+// reference, the BWT, the full suffix array, and (when loaded from a v2
+// index) the prebuilt occurrence tables — so it can be written to disk once
+// ("bwamem index") and reused by any aligner mode. Without preloaded
+// tables, the occurrence table is rebuilt on load (a linear scan,
+// negligible next to suffix-array construction but not next to an mmap
+// open).
 type Prebuilt struct {
 	Ref    *seq.Reference
 	BWT    *bwt.BWT
 	FullSA []int32
+
+	// Occ128/Occ32, when non-nil, are occurrence tables loaded from a v2
+	// index (possibly aliasing a memory-mapped file); NewAlignerFrom uses
+	// them instead of rebuilding from the BWT column.
+	Occ128 *fmindex.Occ128
+	Occ32  *fmindex.Occ32
 }
 
 // BuildPrebuilt constructs the index data from a reference.
@@ -38,7 +64,7 @@ func NewAlignerFrom(pi *Prebuilt, mode Mode, opts Options) (*Aligner, error) {
 	if mode == ModeOptimized {
 		flavor = fmindex.Optimized
 	}
-	idx := fmindex.New(pi.BWT, flavor)
+	idx := fmindex.NewFromParts(pi.BWT, flavor, pi.Occ128, pi.Occ32)
 	var lookup sal.Lookuper
 	if mode == ModeOptimized || opts.SACompression <= 1 {
 		lookup = sal.NewFlat(pi.FullSA)
@@ -61,21 +87,215 @@ func NewAlignerFrom(pi *Prebuilt, mode Mode, opts Options) (*Aligner, error) {
 	return a, nil
 }
 
+// MemFootprint returns the resident bytes of the loaded index data: packed
+// reference, BWT column, suffix array, and any preloaded occurrence tables.
+func (pi *Prebuilt) MemFootprint() int64 {
+	n := int64(len(pi.Ref.Pac)) + int64(len(pi.BWT.B0)) + 4*int64(len(pi.FullSA))
+	if pi.Occ128 != nil {
+		n += int64(pi.Occ128.MemFootprint())
+	}
+	if pi.Occ32 != nil {
+		n += int64(pi.Occ32.MemFootprint())
+	}
+	return n
+}
+
 const (
-	indexMagic   = "BWAGOIDX"
-	indexVersion = uint32(1)
+	indexMagic     = "BWAGOIDX"
+	indexVersionV1 = uint32(1)
+	indexVersionV2 = uint32(2)
 )
 
-// WriteIndex serializes prebuilt index data in a compact little-endian
-// binary format.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("core: corrupt index: "+format, args...)
+}
+
+// validate is the consistency pass shared by the v1 and v2 readers (and,
+// defensively, the writers): every structural invariant checkable without
+// scanning the large arrays. Violations that would otherwise surface as
+// panics deep inside SAM rendering — contigs outside the packed reference,
+// overlapping contigs, a primary row out of range — are reported here as
+// corrupt-index errors instead.
+func (pi *Prebuilt) validate() error {
+	ref, b := pi.Ref, pi.BWT
+	lpac := len(ref.Pac)
+	if lpac == 0 {
+		return corruptf("empty packed reference")
+	}
+	if b.N != 2*lpac {
+		return corruptf("BWT covers %d symbols, want %d (doubled reference of %d bp)", b.N, 2*lpac, lpac)
+	}
+	if len(b.B0) != b.N {
+		return corruptf("stored BWT column holds %d symbols, want %d", len(b.B0), b.N)
+	}
+	if b.N > math.MaxInt32-1 {
+		return corruptf("text length %d exceeds the int32 suffix-array entry range", b.N)
+	}
+	if b.Primary < 1 || b.Primary > b.N {
+		return corruptf("primary row %d outside [1, %d]", b.Primary, b.N)
+	}
+	sum := 0
+	for _, v := range b.Counts {
+		if v < 0 {
+			return corruptf("negative base count %d", v)
+		}
+		sum += v
+	}
+	if sum != b.N {
+		return corruptf("base counts sum to %d, text length is %d", sum, b.N)
+	}
+	if len(pi.FullSA) != b.N+1 {
+		return corruptf("suffix array holds %d rows, want %d", len(pi.FullSA), b.N+1)
+	}
+	if ref.NumAmb < 0 || ref.NumAmb > lpac {
+		return corruptf("ambiguous-base count %d outside [0, %d]", ref.NumAmb, lpac)
+	}
+	if len(ref.Contigs) == 0 {
+		return corruptf("no contigs")
+	}
+	next := 0
+	for i, c := range ref.Contigs {
+		if c.Len <= 0 || c.Offset != next || c.Len > lpac-c.Offset {
+			return corruptf("contig %d (%q) spans [%d, %d) which does not tile the %d bp packed reference",
+				i, c.Name, c.Offset, c.Offset+c.Len, lpac)
+		}
+		next = c.Offset + c.Len
+	}
+	if next != lpac {
+		return corruptf("contigs cover %d bp of a %d bp packed reference", next, lpac)
+	}
+	return nil
+}
+
+// validateSA scans the suffix array (heap-load paths only: over a mapping
+// this would page in the whole section) checking every entry is a valid
+// row-to-position value and the sentinel row is in place.
+func (pi *Prebuilt) validateSA() error {
+	n := int32(pi.BWT.N)
+	if len(pi.FullSA) > 0 && pi.FullSA[0] != n {
+		return corruptf("suffix array sentinel row holds %d, want %d", pi.FullSA[0], n)
+	}
+	for i, v := range pi.FullSA {
+		if v < 0 || v > n {
+			return corruptf("suffix array entry %d is %d, outside [0, %d]", i, v, n)
+		}
+	}
+	return nil
+}
+
+// sizeHint reports how many bytes remain in r when r is seekable (the real
+// callers hand in *os.File or bytes.Reader), or -1 when unknown. Readers
+// use it to reject section lengths larger than the file before allocating.
+func sizeHint(r io.Reader) int64 {
+	s, ok := r.(io.Seeker)
+	if !ok {
+		return -1
+	}
+	cur, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return -1
+	}
+	end, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return -1
+	}
+	if _, err := s.Seek(cur, io.SeekStart); err != nil {
+		return -1
+	}
+	return end - cur
+}
+
+// readFullAlloc reads exactly n bytes, allocating incrementally (at most
+// allocChunk of headroom beyond what has actually arrived) so a corrupt or
+// adversarial length field cannot force a huge up-front allocation: a
+// truncated stream fails with a read error having allocated no more than
+// one chunk past the received data. remaining, when >= 0, is the claimed
+// number of input bytes left; lengths beyond it are rejected immediately.
+func readFullAlloc(r io.Reader, n uint64, remaining int64) ([]byte, error) {
+	const allocChunk = 8 << 20
+	if n > uint64(math.MaxInt) || (remaining >= 0 && n > uint64(remaining)) {
+		return nil, corruptf("section length %d exceeds the remaining input (%d bytes)", n, remaining)
+	}
+	var buf []byte
+	for uint64(len(buf)) < n {
+		step := n - uint64(len(buf))
+		if step > allocChunk {
+			step = allocChunk
+		}
+		off := len(buf)
+		buf = slices.Grow(buf, int(step))[:off+int(step)]
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("core: corrupt index: truncated section (%d of %d bytes): %w", off, n, err)
+		}
+	}
+	return buf, nil
+}
+
+// WriteIndex serializes prebuilt index data in the legacy v1 format. The
+// format's length fields are 32-bit: a reference too large for them is
+// rejected with a clear error (write the v2 format instead of truncating).
+// New indexes should use WriteIndexV2.
 func (pi *Prebuilt) WriteIndex(w io.Writer) error {
+	if err := pi.v1RangeCheck(); err != nil {
+		return err
+	}
+	if err := pi.validate(); err != nil {
+		return fmt.Errorf("core: refusing to write inconsistent index: %w", err)
+	}
+	return writeIndexV1(w, pi)
+}
+
+// v1RangeCheck guards the legacy format's 32-bit length fields: any value
+// that does not fit must fail fast, never truncate into a corrupt file.
+func (pi *Prebuilt) v1RangeCheck() error {
+	check := func(what string, v int) error {
+		if v < 0 || uint64(v) > math.MaxUint32 {
+			return fmt.Errorf("core: %s (%d) exceeds the v1 index format's 32-bit fields; write format v2 instead", what, v)
+		}
+		return nil
+	}
+	if err := check("contig count", len(pi.Ref.Contigs)); err != nil {
+		return err
+	}
+	for _, c := range pi.Ref.Contigs {
+		if err := check(fmt.Sprintf("contig %q name length", c.Name), len(c.Name)); err != nil {
+			return err
+		}
+		if err := check(fmt.Sprintf("contig %q offset", c.Name), c.Offset); err != nil {
+			return err
+		}
+		if err := check(fmt.Sprintf("contig %q length", c.Name), c.Len); err != nil {
+			return err
+		}
+	}
+	if err := check("ambiguous-base count", pi.Ref.NumAmb); err != nil {
+		return err
+	}
+	if err := check("packed reference length", len(pi.Ref.Pac)); err != nil {
+		return err
+	}
+	if err := check("BWT length", pi.BWT.N); err != nil {
+		return err
+	}
+	if err := check("BWT primary row", pi.BWT.Primary); err != nil {
+		return err
+	}
+	return check("suffix array length", len(pi.FullSA))
+}
+
+// writeIndexV1 emits the v1 stream without validation (split out so tests
+// can craft deliberately inconsistent files for the reader).
+func writeIndexV1(w io.Writer, pi *Prebuilt) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(indexMagic); err != nil {
 		return err
 	}
 	le := binary.LittleEndian
 	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
-	if err := writeU32(indexVersion); err != nil {
+	if err := writeU32(indexVersionV1); err != nil {
 		return err
 	}
 	// Contigs.
@@ -126,8 +346,11 @@ func (pi *Prebuilt) WriteIndex(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadIndex deserializes index data written by WriteIndex.
+// ReadIndex deserializes index data written by WriteIndex (v1) or
+// WriteIndexV2, auto-detecting the version. Both paths load onto the heap;
+// use OpenIndexMmap to map a v2 file zero-copy instead.
 func ReadIndex(r io.Reader) (*Prebuilt, error) {
+	remaining := sizeHint(r)
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -136,22 +359,46 @@ func ReadIndex(r io.Reader) (*Prebuilt, error) {
 	if string(magic) != indexMagic {
 		return nil, fmt.Errorf("core: not a bwamem-go index (magic %q)", magic)
 	}
+	var ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, fmt.Errorf("core: reading index version: %w", err)
+	}
+	if remaining >= 0 {
+		remaining -= int64(len(indexMagic)) + 4
+	}
+	switch ver {
+	case indexVersionV1:
+		return readIndexV1(br, remaining)
+	case indexVersionV2:
+		return readIndexV2(br, remaining)
+	default:
+		return nil, fmt.Errorf("core: unsupported index version %d (this build reads v1 and v2)", ver)
+	}
+}
+
+// readIndexV1 parses the legacy stream after the magic and version. Every
+// length field is bounded by the remaining input before allocation.
+func readIndexV1(br *bufio.Reader, remaining int64) (*Prebuilt, error) {
 	le := binary.LittleEndian
 	readU32 := func() (uint32, error) {
 		var v uint32
 		err := binary.Read(br, le, &v)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		if remaining >= 0 && err == nil {
+			remaining -= 4
+		}
 		return v, err
-	}
-	ver, err := readU32()
-	if err != nil {
-		return nil, err
-	}
-	if ver != indexVersion {
-		return nil, fmt.Errorf("core: unsupported index version %d", ver)
 	}
 	nc, err := readU32()
 	if err != nil {
 		return nil, err
+	}
+	// Each contig record is at least 12 bytes, so the count itself is
+	// bounded by the input size.
+	if remaining >= 0 && int64(nc) > remaining/12 {
+		return nil, corruptf("contig count %d exceeds the remaining input (%d bytes)", nc, remaining)
 	}
 	ref := &seq.Reference{}
 	for i := uint32(0); i < nc; i++ {
@@ -159,9 +406,12 @@ func ReadIndex(r io.Reader) (*Prebuilt, error) {
 		if err != nil {
 			return nil, err
 		}
-		name := make([]byte, nl)
-		if _, err := io.ReadFull(br, name); err != nil {
+		name, err := readFullAlloc(br, uint64(nl), remaining)
+		if err != nil {
 			return nil, err
+		}
+		if remaining >= 0 {
+			remaining -= int64(nl)
 		}
 		off, err := readU32()
 		if err != nil {
@@ -182,9 +432,11 @@ func ReadIndex(r io.Reader) (*Prebuilt, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref.Pac = make([]byte, pacLen)
-	if _, err := io.ReadFull(br, ref.Pac); err != nil {
+	if ref.Pac, err = readFullAlloc(br, uint64(pacLen), remaining); err != nil {
 		return nil, err
+	}
+	if remaining >= 0 {
+		remaining -= int64(pacLen)
 	}
 	n, err := readU32()
 	if err != nil {
@@ -194,30 +446,37 @@ func ReadIndex(r io.Reader) (*Prebuilt, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &bwt.BWT{N: int(n), Primary: int(primary), B0: make([]byte, n)}
-	if _, err := io.ReadFull(br, b.B0); err != nil {
+	if uint64(n) != 2*uint64(pacLen) {
+		return nil, corruptf("BWT covers %d symbols, want %d (doubled reference of %d bp)", n, 2*uint64(pacLen), pacLen)
+	}
+	b0, err := readFullAlloc(br, uint64(n), remaining)
+	if err != nil {
 		return nil, err
 	}
-	for _, c := range b.B0 {
-		if c > 3 {
-			return nil, fmt.Errorf("core: corrupt index: BWT code %d", c)
-		}
-		b.Counts[c]++
+	if remaining >= 0 {
+		remaining -= int64(n)
 	}
-	b.C[0] = 1
-	for c := 0; c < 4; c++ {
-		b.C[c+1] = b.C[c] + b.Counts[c]
+	b, err := bwt.FromStored(b0, int(primary))
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt index: %w", err)
 	}
 	saLen, err := readU32()
 	if err != nil {
 		return nil, err
 	}
-	if int(saLen) != b.N+1 {
-		return nil, fmt.Errorf("core: corrupt index: SA length %d for text length %d", saLen, b.N)
+	if int64(saLen) != int64(n)+1 {
+		return nil, corruptf("SA length %d for text length %d", saLen, n)
 	}
-	full := make([]int32, saLen)
-	if err := binary.Read(br, le, full); err != nil {
+	saRaw, err := readFullAlloc(br, 4*uint64(saLen), remaining)
+	if err != nil {
 		return nil, err
 	}
-	return &Prebuilt{Ref: ref, BWT: b, FullSA: full}, nil
+	pi := &Prebuilt{Ref: ref, BWT: b, FullSA: int32sFromRaw(saRaw)}
+	if err := pi.validate(); err != nil {
+		return nil, err
+	}
+	if err := pi.validateSA(); err != nil {
+		return nil, err
+	}
+	return pi, nil
 }

@@ -2,11 +2,21 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
+	"math/bits"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/seq"
 )
+
+// nonSeekReader hides the Seeker of the wrapped reader so tests can
+// exercise the unknown-input-size paths.
+type nonSeekReader struct{ r io.Reader }
+
+func (n nonSeekReader) Read(p []byte) (int, error) { return n.r.Read(p) }
 
 func TestIndexRoundTrip(t *testing.T) {
 	ref := testRef(t, 12000, 201)
@@ -83,5 +93,129 @@ func TestReadIndexRejectsGarbage(t *testing.T) {
 	pi.WriteIndex(&buf)
 	if _, err := ReadIndex(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
 		t.Fatal("truncated index should not parse")
+	}
+	if _, err := ReadIndex(nonSeekReader{bytes.NewReader(buf.Bytes()[:buf.Len()/2])}); err == nil {
+		t.Fatal("truncated index should not parse from an unseekable stream either")
+	}
+}
+
+func TestWriteIndexV1FailsFastOnOverflow(t *testing.T) {
+	if bits.UintSize < 64 {
+		t.Skip("needs 64-bit int to express out-of-range lengths")
+	}
+	ref := testRef(t, 1000, 301)
+	pi, err := BuildPrebuilt(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := uint(33)
+	huge := 1 << shift // value needing 34 bits; must not truncate to a u32
+
+	mutations := []struct {
+		name   string
+		mutate func(p *Prebuilt)
+	}{
+		{"contig length", func(p *Prebuilt) { p.Ref.Contigs[0].Len = huge }},
+		{"contig offset", func(p *Prebuilt) { p.Ref.Contigs[0].Offset = huge }},
+		{"BWT length", func(p *Prebuilt) { p.BWT.N = huge }},
+		{"ambiguous-base count", func(p *Prebuilt) { p.Ref.NumAmb = huge }},
+	}
+	for _, m := range mutations {
+		bad := *pi
+		badRef := *pi.Ref
+		badRef.Contigs = append([]seq.Contig(nil), pi.Ref.Contigs...)
+		badBWT := *pi.BWT
+		bad.Ref, bad.BWT = &badRef, &badBWT
+		m.mutate(&bad)
+		var buf bytes.Buffer
+		err := bad.WriteIndex(&buf)
+		if err == nil {
+			t.Fatalf("%s of %d silently wrote a v1 index", m.name, huge)
+		}
+		if !strings.Contains(err.Error(), "32-bit") {
+			t.Fatalf("%s: error %q does not explain the 32-bit limit", m.name, err)
+		}
+	}
+	// The unmutated index still writes.
+	if err := pi.WriteIndex(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// v1Stream assembles a v1 header claiming the given section sizes, followed
+// by only a few real bytes — the reader must reject the claim instead of
+// allocating it.
+func v1Stream(nContigs, pacLen uint32) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(indexMagic)
+	le := binary.LittleEndian
+	u32 := func(v uint32) { binary.Write(&buf, le, v) }
+	u32(indexVersionV1)
+	u32(nContigs)
+	if nContigs == 0 {
+		u32(0) // numAmb
+		u32(pacLen)
+	}
+	buf.Write([]byte{0, 1, 2, 3})
+	return buf.Bytes()
+}
+
+func TestReadIndexBoundsSectionLengths(t *testing.T) {
+	huge := v1Stream(0, 1<<30)
+	if _, err := ReadIndex(bytes.NewReader(huge)); err == nil ||
+		!strings.Contains(err.Error(), "exceeds the remaining input") {
+		t.Fatalf("1 GiB pac claim on a %d-byte file: err = %v", len(huge), err)
+	}
+	// Without a known input size the reader allocates incrementally and
+	// fails on the missing bytes rather than OOMing up front.
+	if _, err := ReadIndex(nonSeekReader{bytes.NewReader(huge)}); err == nil {
+		t.Fatal("1 GiB pac claim should not parse from an unseekable stream")
+	}
+	manyContigs := v1Stream(0xffffffff, 0)
+	if _, err := ReadIndex(bytes.NewReader(manyContigs)); err == nil ||
+		!strings.Contains(err.Error(), "contig count") {
+		t.Fatalf("4 billion contig claim: err = %v", err)
+	}
+	if _, err := ReadIndex(nonSeekReader{bytes.NewReader(manyContigs)}); err == nil {
+		t.Fatal("4 billion contig claim should not parse from an unseekable stream")
+	}
+}
+
+func TestReadIndexRejectsBadContigs(t *testing.T) {
+	ref := testRef(t, 3000, 302)
+	pi, err := BuildPrebuilt(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := []struct {
+		name    string
+		contigs []seq.Contig
+	}{
+		{"beyond the reference", []seq.Contig{{Name: "chr1", Offset: 0, Len: 5000}}},
+		{"offset outside", []seq.Contig{{Name: "chr1", Offset: 9000, Len: 3000}}},
+		{"overlapping", []seq.Contig{{Name: "a", Offset: 0, Len: 2000}, {Name: "b", Offset: 1000, Len: 2000}}},
+		{"gap", []seq.Contig{{Name: "a", Offset: 0, Len: 1000}, {Name: "b", Offset: 2000, Len: 1000}}},
+		{"short coverage", []seq.Contig{{Name: "chr1", Offset: 0, Len: 1000}}},
+		{"zero length", []seq.Contig{{Name: "a", Offset: 0, Len: 0}, {Name: "chr1", Offset: 0, Len: 3000}}},
+		{"none", nil},
+	}
+	for _, m := range mutations {
+		bad := *pi
+		badRef := *pi.Ref
+		badRef.Contigs = m.contigs
+		bad.Ref = &badRef
+		var v1, v2 bytes.Buffer
+		if err := writeIndexV1(&v1, &bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadIndex(&v1); err == nil || !strings.Contains(err.Error(), "corrupt index") {
+			t.Fatalf("v1 with contigs %s: err = %v", m.name, err)
+		}
+		if err := writeIndexV2(&v2, &bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadIndex(bytes.NewReader(v2.Bytes())); err == nil || !strings.Contains(err.Error(), "corrupt index") {
+			t.Fatalf("v2 with contigs %s: err = %v", m.name, err)
+		}
 	}
 }

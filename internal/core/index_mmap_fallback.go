@@ -1,0 +1,57 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// MappedIndex on platforms without wired-up mmap support: OpenIndexMmap
+// falls back to a heap load of the same file so callers keep working, Close
+// is a no-op, and MappedBytes reports the heap footprint instead of a
+// shared mapping. The zero-copy guarantees documented on the unix build do
+// not apply here.
+type MappedIndex struct {
+	Prebuilt
+	size int64
+	path string
+}
+
+// OpenIndexMmap heap-loads a v2 index (mmap fallback for this platform).
+// v1 files are rejected exactly like on mmap-capable platforms, so tooling
+// behaves the same everywhere.
+func OpenIndexMmap(path string) (*MappedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	probe := make([]byte, len(indexMagic)+4)
+	if _, err := f.ReadAt(probe, 0); err != nil {
+		return nil, corruptf("%s is smaller than any index", path)
+	}
+	if string(probe[:len(indexMagic)]) == indexMagic {
+		if ver := binary.LittleEndian.Uint32(probe[len(indexMagic):]); ver != indexVersionV2 {
+			return nil, fmt.Errorf("core: %s is index format v%d, which cannot be memory-mapped; rebuild it with `bwamem index` (writes v2) or heap-load it with ReadIndex", path, ver)
+		}
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	pi, err := ReadIndex(f)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedIndex{Prebuilt: *pi, size: pi.MemFootprint(), path: path}, nil
+}
+
+// Close is a no-op on the heap fallback.
+func (m *MappedIndex) Close() error { return nil }
+
+// MappedBytes returns the heap footprint of the loaded index.
+func (m *MappedIndex) MappedBytes() int64 { return m.size }
+
+// Path returns the loaded file's path.
+func (m *MappedIndex) Path() string { return m.path }

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func buildV2Bytes(t testing.TB, refBP int, seed int64) (*Prebuilt, []byte) {
+	t.Helper()
+	ref := testRef(t, refBP, seed)
+	pi, err := BuildPrebuilt(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pi.WriteIndexV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return pi, buf.Bytes()
+}
+
+// samEqual asserts two aligners render byte-identical SAM for the same
+// sampled reads.
+func samEqual(t *testing.T, want, got *Aligner, label string, seed int64) {
+	t.Helper()
+	rng := randFor(seed)
+	for trial := 0; trial < 5; trial++ {
+		rd, _ := sampleRead(rng, want.Ref, 100, 2, trial%2 == 1)
+		codes := seq.Encode(rd.Seq)
+		s1 := string(want.AppendSAM(nil, &rd, codes, want.AlignRead(codes, nil)))
+		s2 := string(got.AppendSAM(nil, &rd, codes, got.AlignRead(codes, nil)))
+		if s1 != s2 {
+			t.Fatalf("%s: SAM differs:\n%s%s", label, s1, s2)
+		}
+	}
+}
+
+func TestIndexV2RoundTrip(t *testing.T) {
+	pi, data := buildV2Bytes(t, 12000, 401)
+	pi2, err := ReadIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pi.Ref.Pac, pi2.Ref.Pac) || !reflect.DeepEqual(pi.Ref.Contigs, pi2.Ref.Contigs) ||
+		pi.Ref.NumAmb != pi2.Ref.NumAmb {
+		t.Fatal("reference mismatch after v2 round trip")
+	}
+	if pi.BWT.Primary != pi2.BWT.Primary || !bytes.Equal(pi.BWT.B0, pi2.BWT.B0) ||
+		pi.BWT.C != pi2.BWT.C || pi.BWT.Counts != pi2.BWT.Counts {
+		t.Fatal("BWT mismatch after v2 round trip")
+	}
+	if !reflect.DeepEqual(pi.FullSA, pi2.FullSA) {
+		t.Fatal("suffix array mismatch after v2 round trip")
+	}
+	if pi2.Occ128 == nil || pi2.Occ32 == nil {
+		t.Fatal("v2 load did not surface the persisted occurrence tables")
+	}
+	// An unseekable stream must load identically (no file-size hint).
+	pi3, err := ReadIndex(nonSeekReader{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pi3.FullSA, pi.FullSA) {
+		t.Fatal("unseekable v2 load disagrees")
+	}
+	for _, mode := range []Mode{ModeBaseline, ModeOptimized} {
+		direct := newTestAligner(t, pi.Ref, mode)
+		loaded, err := NewAlignerFrom(pi2, mode, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		samEqual(t, direct, loaded, "v2 "+mode.String(), 402)
+	}
+}
+
+func TestIndexMmapMatchesHeapLoads(t *testing.T) {
+	pi, data := buildV2Bytes(t, 15000, 403)
+	dir := t.TempDir()
+	v2Path := filepath.Join(dir, "ref.bwago")
+	if err := os.WriteFile(v2Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v1Buf bytes.Buffer
+	if err := pi.WriteIndex(&v1Buf); err != nil {
+		t.Fatal(err)
+	}
+
+	mi, err := OpenIndexMmap(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mi.Close()
+	if mi.MappedBytes() != int64(len(data)) {
+		t.Fatalf("MappedBytes = %d, file is %d bytes", mi.MappedBytes(), len(data))
+	}
+	if !bytes.Equal(mi.Ref.Pac, pi.Ref.Pac) || !bytes.Equal(mi.BWT.B0, pi.BWT.B0) ||
+		!reflect.DeepEqual(mi.FullSA, pi.FullSA) || !reflect.DeepEqual(mi.Ref.Contigs, pi.Ref.Contigs) {
+		t.Fatal("mapped sections disagree with the built index")
+	}
+	if mi.BWT.Counts != pi.BWT.Counts || mi.BWT.C != pi.BWT.C || mi.BWT.Primary != pi.BWT.Primary {
+		t.Fatal("mapped BWT metadata disagrees with the built index")
+	}
+
+	v1pi, err := ReadIndex(bytes.NewReader(v1Buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeBaseline, ModeOptimized} {
+		heap, err := NewAlignerFrom(v1pi, mode, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := NewAlignerFrom(&mi.Prebuilt, mode, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		samEqual(t, heap, mapped, "mmap vs v1-heap "+mode.String(), 404)
+	}
+
+	if err := mi.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mi.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// patchHeaderCRC recomputes the header checksum after a test mutates header
+// bytes, so the mutation is reached instead of masked by the CRC gate.
+func patchHeaderCRC(b []byte) {
+	binary.LittleEndian.PutUint64(b[v2HeaderCRCOff:], crc64.Checksum(b[:v2HeaderCRCOff], crcTable))
+}
+
+func TestIndexV2CorruptionMatrix(t *testing.T) {
+	_, data := buildV2Bytes(t, 8000, 405)
+	if _, err := ReadIndex(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine v2 index did not load: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		wantErr string
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0x40; return b }, "not a bwamem-go index"},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 9)
+			return b
+		}, "unsupported index version"},
+		{"header bit flip", func(b []byte) []byte { b[24] ^= 1; return b }, "header checksum"},
+		{"primary row zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[32:], 0)
+			patchHeaderCRC(b)
+			return b
+		}, "primary row"},
+		{"counts disagree", func(b []byte) []byte {
+			v := binary.LittleEndian.Uint64(b[48:])
+			binary.LittleEndian.PutUint64(b[48:], v+1)
+			binary.LittleEndian.PutUint64(b[56:], binary.LittleEndian.Uint64(b[56:])-1)
+			patchHeaderCRC(b)
+			return b
+		}, "disagree"},
+		{"oversized section length", func(b []byte) []byte {
+			// Inflate the pac section's length claim past the file.
+			p := b[v2SectionTab+24*secPac:]
+			binary.LittleEndian.PutUint64(p[8:], 1<<40)
+			patchHeaderCRC(b)
+			return b
+		}, "outside the"},
+		{"pac bit flip", func(b []byte) []byte { b[2*v2PageSize+5] ^= 1; return b }, "section checksum mismatch"},
+		{"truncated header", func(b []byte) []byte { return b[:100] }, ""},
+		{"truncated mid-section", func(b []byte) []byte { return b[:len(b)/2] }, ""},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-1] }, ""},
+	}
+	for _, tc := range cases {
+		b := tc.mutate(append([]byte(nil), data...))
+		_, err := ReadIndex(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("%s: corrupt index loaded without error", tc.name)
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+		// Unseekable streams must reject the same corruption (possibly with
+		// a less specific error).
+		if _, err := ReadIndex(nonSeekReader{bytes.NewReader(b)}); err == nil {
+			t.Fatalf("%s: corrupt index loaded from an unseekable stream", tc.name)
+		}
+	}
+}
+
+func TestOpenIndexMmapRejectsUnusable(t *testing.T) {
+	dir := t.TempDir()
+	pi, data := buildV2Bytes(t, 4000, 406)
+
+	v1Path := filepath.Join(dir, "v1.bwago")
+	var v1Buf bytes.Buffer
+	if err := pi.WriteIndex(&v1Buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v1Path, v1Buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndexMmap(v1Path); err == nil ||
+		!strings.Contains(err.Error(), "v1") {
+		t.Fatalf("mmap of a v1 index: err = %v", err)
+	}
+
+	garbage := filepath.Join(dir, "garbage.bwago")
+	if err := os.WriteFile(garbage, []byte("definitely not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndexMmap(garbage); err == nil {
+		t.Fatal("mmap of garbage should not succeed")
+	}
+
+	trunc := filepath.Join(dir, "trunc.bwago")
+	if err := os.WriteFile(trunc, data[:len(data)-512], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndexMmap(trunc); err == nil {
+		t.Fatal("mmap of a truncated index should not succeed")
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[v2PageSize+3] ^= 1 // meta section byte
+	badMeta := filepath.Join(dir, "badmeta.bwago")
+	if err := os.WriteFile(badMeta, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndexMmap(badMeta); err == nil ||
+		!strings.Contains(err.Error(), "meta section checksum") {
+		t.Fatalf("mmap with corrupt meta: err = %v", err)
+	}
+}

@@ -75,11 +75,28 @@ func Build(text []byte, flavor Flavor) (*Index, []int32, error) {
 
 // New wraps an existing BWT in an index of the given flavor.
 func New(b *bwt.BWT, flavor Flavor) *Index {
+	return NewFromParts(b, flavor, nil, nil)
+}
+
+// NewFromParts wraps an existing BWT and, when non-nil, a preloaded
+// occurrence table of the requested flavor — e.g. one aliased out of a
+// memory-mapped v2 index, which skips the linear rebuild over B0. A nil (or
+// wrong-flavor) table is built from B0 exactly as New does. A provided
+// table must cover a text of length b.N.
+func NewFromParts(b *bwt.BWT, flavor Flavor, o128 *Occ128, o32 *Occ32) *Index {
 	x := &Index{B: b, flavor: flavor}
 	if flavor == Optimized {
-		x.occ32 = NewOcc32(b.B0)
+		if o32 != nil && o32.n == b.N {
+			x.occ32 = o32
+		} else {
+			x.occ32 = NewOcc32(b.B0)
+		}
 	} else {
-		x.occ128 = NewOcc128(b.B0)
+		if o128 != nil && o128.n == b.N {
+			x.occ128 = o128
+		} else {
+			x.occ128 = NewOcc128(b.B0)
+		}
 	}
 	return x
 }

@@ -1,0 +1,155 @@
+// Raw (on-disk) form of the occurrence tables. A .bwago v2 index persists
+// both table layouts so loading an index skips the linear rebuild over the
+// BWT column: each table is stored as its blocks in memory order, 64 bytes
+// per block, every field little-endian. On little-endian hosts that is
+// exactly the in-memory layout, so Raw is a zero-copy view and the FromRaw
+// constructors alias the section (straight out of an mmap'd file) instead
+// of decoding it; big-endian hosts fall back to an explicit field-by-field
+// codec.
+package fmindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// Compile-time guarantees that the structs are exactly one 64-byte cache
+// line with no padding — the raw codec and the alias path both rely on it.
+var (
+	_ = [1]struct{}{}[unsafe.Sizeof(occ128Block{})-occEntryBytes]
+	_ = [1]struct{}{}[unsafe.Sizeof(occ32Entry{})-occEntryBytes]
+)
+
+// HostLittleEndian reports whether the host stores integers little-endian,
+// the byte order of the .bwago v2 format: on such hosts the raw codecs
+// alias memory instead of copying. internal/core shares this probe for its
+// suffix-array section codec.
+var HostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Occ128Blocks returns how many 64-byte blocks an Occ128 over a text of
+// length n has (NewOcc128's sizing rule).
+func Occ128Blocks(n int) int {
+	nb := (n + 127) / 128
+	if nb == 0 {
+		nb = 1
+	}
+	return nb
+}
+
+// Occ32Entries returns how many 64-byte entries an Occ32 over a text of
+// length n has (NewOcc32's sizing rule).
+func Occ32Entries(n int) int {
+	ne := (n + 31) / 32
+	if ne == 0 {
+		ne = 1
+	}
+	return ne
+}
+
+// aligned8 reports whether the slice's backing array starts on an 8-byte
+// boundary, the alignment the struct alias paths require.
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// Raw returns the table in the v2 section byte layout. On little-endian
+// hosts the returned slice aliases the table's memory — the caller must
+// treat it as read-only.
+func (o *Occ128) Raw() []byte {
+	if HostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&o.blocks[0])), len(o.blocks)*occEntryBytes)
+	}
+	out := make([]byte, 0, len(o.blocks)*occEntryBytes)
+	for i := range o.blocks {
+		blk := &o.blocks[i]
+		for _, v := range blk.counts {
+			out = binary.LittleEndian.AppendUint64(out, v)
+		}
+		for _, v := range blk.data {
+			out = binary.LittleEndian.AppendUint64(out, v)
+		}
+	}
+	return out
+}
+
+// Raw returns the table in the v2 section byte layout. On little-endian
+// hosts the returned slice aliases the table's memory — the caller must
+// treat it as read-only.
+func (o *Occ32) Raw() []byte {
+	if HostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&o.entries[0])), len(o.entries)*occEntryBytes)
+	}
+	out := make([]byte, 0, len(o.entries)*occEntryBytes)
+	for i := range o.entries {
+		ent := &o.entries[i]
+		for _, v := range ent.counts {
+			out = binary.LittleEndian.AppendUint32(out, v)
+		}
+		for _, v := range ent.bases {
+			out = binary.LittleEndian.AppendUint64(out, v)
+		}
+		for _, v := range ent.pad {
+			out = binary.LittleEndian.AppendUint64(out, v)
+		}
+	}
+	return out
+}
+
+// Occ128FromRaw wraps a v2 occ128 section as a table over a text of length
+// n. On little-endian hosts with an 8-byte-aligned section the table
+// aliases raw zero-copy — raw must then stay immutable (and, for an mmap'd
+// section, mapped) for the table's lifetime; otherwise the section is
+// decoded into fresh memory.
+func Occ128FromRaw(raw []byte, n int) (*Occ128, error) {
+	nb := Occ128Blocks(n)
+	if len(raw) != nb*occEntryBytes {
+		return nil, fmt.Errorf("fmindex: occ128 section is %d bytes, want %d for text length %d", len(raw), nb*occEntryBytes, n)
+	}
+	o := &Occ128{n: n}
+	if HostLittleEndian && aligned8(raw) {
+		o.blocks = unsafe.Slice((*occ128Block)(unsafe.Pointer(&raw[0])), nb)
+		return o, nil
+	}
+	o.blocks = make([]occ128Block, nb)
+	for i := range o.blocks {
+		blk := &o.blocks[i]
+		p := raw[i*occEntryBytes:]
+		for j := range blk.counts {
+			blk.counts[j] = binary.LittleEndian.Uint64(p[j*8:])
+		}
+		for j := range blk.data {
+			blk.data[j] = binary.LittleEndian.Uint64(p[32+j*8:])
+		}
+	}
+	return o, nil
+}
+
+// Occ32FromRaw wraps a v2 occ32 section as a table over a text of length n,
+// with the same aliasing contract as Occ128FromRaw.
+func Occ32FromRaw(raw []byte, n int) (*Occ32, error) {
+	ne := Occ32Entries(n)
+	if len(raw) != ne*occEntryBytes {
+		return nil, fmt.Errorf("fmindex: occ32 section is %d bytes, want %d for text length %d", len(raw), ne*occEntryBytes, n)
+	}
+	o := &Occ32{n: n}
+	if HostLittleEndian && aligned8(raw) {
+		o.entries = unsafe.Slice((*occ32Entry)(unsafe.Pointer(&raw[0])), ne)
+		return o, nil
+	}
+	o.entries = make([]occ32Entry, ne)
+	for i := range o.entries {
+		ent := &o.entries[i]
+		p := raw[i*occEntryBytes:]
+		for j := range ent.counts {
+			ent.counts[j] = binary.LittleEndian.Uint32(p[j*4:])
+		}
+		for j := range ent.bases {
+			ent.bases[j] = binary.LittleEndian.Uint64(p[16+j*8:])
+		}
+	}
+	return o, nil
+}

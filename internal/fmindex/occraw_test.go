@@ -1,0 +1,120 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// occSource abstracts the two tables for the shared raw-codec checks.
+type occSource interface {
+	Count(c byte, k int) int
+	Count4(k int) [4]int
+}
+
+func checkOccEqual(t *testing.T, want, got occSource, n int, label string) {
+	t.Helper()
+	step := 1
+	if n > 512 {
+		step = n / 512
+	}
+	for k := -1; k < n; k += step {
+		for c := byte(0); c < 4; c++ {
+			if w, g := want.Count(c, k), got.Count(c, k); w != g {
+				t.Fatalf("%s: Count(%d, %d) = %d, want %d", label, c, k, g, w)
+			}
+		}
+		if w, g := want.Count4(k), got.Count4(k); w != g {
+			t.Fatalf("%s: Count4(%d) = %v, want %v", label, k, g, w)
+		}
+	}
+}
+
+func TestOccRawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 31, 32, 33, 127, 128, 129, 1000, 4097} {
+		b0 := make([]byte, n)
+		for i := range b0 {
+			b0[i] = byte(rng.Intn(4))
+		}
+		o128, o32 := NewOcc128(b0), NewOcc32(b0)
+
+		raw128, raw32 := o128.Raw(), o32.Raw()
+		if len(raw128) != Occ128Blocks(n)*occEntryBytes {
+			t.Fatalf("n=%d: occ128 raw is %d bytes", n, len(raw128))
+		}
+		if len(raw32) != Occ32Entries(n)*occEntryBytes {
+			t.Fatalf("n=%d: occ32 raw is %d bytes", n, len(raw32))
+		}
+
+		// Aligned path (aliases on little-endian hosts).
+		r128, err := Occ128FromRaw(raw128, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOccEqual(t, o128, r128, n, "occ128 aligned")
+		r32, err := Occ32FromRaw(raw32, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOccEqual(t, o32, r32, n, "occ32 aligned")
+
+		// Misaligned copies force the explicit decode path even on
+		// little-endian hosts.
+		mis := func(raw []byte) []byte {
+			buf := make([]byte, len(raw)+1)
+			copy(buf[1:], raw)
+			return buf[1:]
+		}
+		m128, err := Occ128FromRaw(mis(raw128), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOccEqual(t, o128, m128, n, "occ128 misaligned")
+		m32, err := Occ32FromRaw(mis(raw32), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOccEqual(t, o32, m32, n, "occ32 misaligned")
+	}
+}
+
+func TestOccFromRawRejectsBadLength(t *testing.T) {
+	b0 := []byte{0, 1, 2, 3, 0, 1}
+	raw := NewOcc128(b0).Raw()
+	if _, err := Occ128FromRaw(raw[:len(raw)-1], len(b0)); err == nil {
+		t.Fatal("short occ128 section should not parse")
+	}
+	if _, err := Occ128FromRaw(raw, len(b0)+200); err == nil {
+		t.Fatal("occ128 section for the wrong text length should not parse")
+	}
+	raw32 := NewOcc32(b0).Raw()
+	if _, err := Occ32FromRaw(raw32[:0], len(b0)); err == nil {
+		t.Fatal("empty occ32 section should not parse")
+	}
+}
+
+func TestNewFromPartsUsesProvidedTable(t *testing.T) {
+	b0 := make([]byte, 500)
+	rng := rand.New(rand.NewSource(12))
+	for i := range b0 {
+		b0[i] = byte(rng.Intn(4))
+	}
+	// A BWT over b0 as its stored column (contents are arbitrary for the
+	// occurrence table itself).
+	idx, _, err := Build(b0, Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := NewOcc32(idx.B.B0)
+	x := NewFromParts(idx.B, Optimized, nil, pre)
+	if x.occ32 != pre {
+		t.Fatal("NewFromParts did not adopt the provided occ32 table")
+	}
+	// Wrong-size table is ignored, not adopted.
+	wrong := NewOcc32(b0[:100])
+	x = NewFromParts(idx.B, Optimized, nil, wrong)
+	if x.occ32 == wrong {
+		t.Fatal("NewFromParts adopted a table of the wrong length")
+	}
+	checkOccEqual(t, NewOcc32(idx.B.B0), x.occ32, idx.B.N, "rebuilt occ32")
+}

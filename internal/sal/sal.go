@@ -41,6 +41,9 @@ type FlatSA struct {
 }
 
 // NewFlat wraps a full-matrix suffix array (N+1 entries, row 0 = sentinel).
+// The slice is borrowed, never written: it may alias read-only memory such
+// as an mmap'd index section, and one slice may back any number of FlatSA
+// values across goroutines.
 func NewFlat(fullSA []int32) *FlatSA {
 	return &FlatSA{sa: fullSA}
 }

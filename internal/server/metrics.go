@@ -43,6 +43,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bwaserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 	fmt.Fprintf(w, "bwaserve_workers %d\n", s.sched.Threads())
 	fmt.Fprintf(w, "bwaserve_batch_size %d\n", s.cfg.BatchSize)
+	fmt.Fprintf(w, "bwaserve_index_mmap %d\n", boolGauge(s.idxInfo.Mmap))
+	fmt.Fprintf(w, "bwaserve_index_load_seconds %.6f\n", s.idxInfo.LoadTime.Seconds())
+	fmt.Fprintf(w, "bwaserve_index_resident_bytes %d\n", s.idxInfo.ResidentBytes)
+	if s.idxInfo.Source != "" {
+		fmt.Fprintf(w, "bwaserve_index_source{source=%q} 1\n", s.idxInfo.Source)
+	}
 	fmt.Fprintf(w, "bwaserve_requests_total{kind=%q} %d\n", "single", m.singleRequests.Load())
 	fmt.Fprintf(w, "bwaserve_requests_total{kind=%q} %d\n", "paired", m.pairedRequests.Load())
 	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "queue_full", m.rejectedFull.Load())

@@ -75,6 +75,7 @@ type Server struct {
 	optFP       uint64          // option fingerprint for cache keys
 	renderSlots chan struct{}   // bounds concurrent off-worker hit renders (cache.go)
 	mux         *http.ServeMux
+	idxInfo     IndexInfo // how the index was loaded; set before serving
 
 	drainFlag atomic.Bool
 	closed    atomic.Bool
@@ -114,6 +115,29 @@ func New(aln *core.Aligner, cfg core.ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
 }
+
+// IndexInfo describes how the resident index came to be, for /metrics:
+// deployments watching a fleet want to see which processes mmap a shared
+// page-cached index versus pay a private heap copy, and what start-up cost
+// the load added.
+type IndexInfo struct {
+	// Source labels the load path: "v2-mmap", "v2-heap", "v1-heap",
+	// "fasta-build", "synthetic-build", ...
+	Source string
+	// Mmap is true when the index aliases a shared read-only file mapping.
+	Mmap bool
+	// LoadTime is the wall time from opening the index source to a ready
+	// aligner (index build time, for sources built in memory).
+	LoadTime time.Duration
+	// ResidentBytes is the index data footprint: private heap bytes for a
+	// heap load, or the mapped file size (file-backed, shared across
+	// processes) for an mmap load.
+	ResidentBytes int64
+}
+
+// SetIndexInfo records how the index was loaded. Call it once, before the
+// server starts handling requests; it is not synchronized with handlers.
+func (s *Server) SetIndexInfo(info IndexInfo) { s.idxInfo = info }
 
 // Config returns the resolved deployment configuration.
 func (s *Server) Config() core.ServerConfig { return s.cfg }
