@@ -12,7 +12,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/server/ ./internal/pipeline/
+	$(GO) test -race ./internal/server/ ./internal/pipeline/ ./internal/seq/ ./internal/rescache/ ./internal/core/ ./pkg/...
 
 serve: ## run the alignment server on a synthetic genome
 	$(GO) run ./cmd/bwaserve -addr :8080 -synthetic 200000

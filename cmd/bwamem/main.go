@@ -1,5 +1,5 @@
 // Command bwamem is the end-user aligner CLI, mirroring bwa-mem2's
-// interface:
+// interface and built entirely on the public SDK (pkg/bwamem):
 //
 //	bwamem index ref.fa                  build ref.fa.bwago
 //	bwamem mem [flags] ref.fa reads.fq   map reads, SAM on stdout
@@ -10,15 +10,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/pipeline"
-	"repro/internal/seq"
+	"repro/pkg/bwamem"
 )
 
 func main() {
@@ -60,18 +58,8 @@ func cmdIndex(args []string) {
 		die(fmt.Errorf("unknown index format %q (want v1 or v2)", *format))
 	}
 	refPath := fs.Arg(0)
-	f, err := os.Open(refPath)
-	if err != nil {
-		die(err)
-	}
-	defer f.Close()
-	ref, err := seq.ReferenceFromFasta(f)
-	if err != nil {
-		die(err)
-	}
-	fmt.Fprintf(os.Stderr, "[index] %d contigs, %d bp; building BWT and suffix array...\n",
-		len(ref.Contigs), ref.Lpac())
-	pi, err := core.BuildPrebuilt(ref)
+	fmt.Fprintf(os.Stderr, "[index] building BWT and suffix array for %s...\n", refPath)
+	idx, err := bwamem.BuildFile(refPath)
 	if err != nil {
 		die(err)
 	}
@@ -84,9 +72,9 @@ func cmdIndex(args []string) {
 		die(err)
 	}
 	if *format == "v1" {
-		err = pi.WriteIndex(w)
+		err = idx.WriteLegacy(w)
 	} else {
-		err = pi.WriteIndexV2(w)
+		err = idx.Write(w)
 	}
 	if err != nil {
 		w.Close()
@@ -95,92 +83,85 @@ func cmdIndex(args []string) {
 	if err := w.Close(); err != nil {
 		die(err)
 	}
-	fmt.Fprintf(os.Stderr, "[index] wrote %s (format %s)\n", path, *format)
-}
-
-func loadOrBuild(refPath string) (*core.Prebuilt, error) {
-	idxPath := refPath
-	if !strings.HasSuffix(idxPath, ".bwago") {
-		idxPath += ".bwago"
-	}
-	if f, err := os.Open(idxPath); err == nil {
-		defer f.Close()
-		fmt.Fprintf(os.Stderr, "[mem] loading index %s\n", idxPath)
-		return core.ReadIndex(f)
-	}
-	f, err := os.Open(refPath)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	ref, err := seq.ReferenceFromFasta(f)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(os.Stderr, "[mem] no prebuilt index; indexing %d bp in memory\n", ref.Lpac())
-	return core.BuildPrebuilt(ref)
+	fmt.Fprintf(os.Stderr, "[index] wrote %s: %d contigs, %d bp (format %s)\n",
+		path, len(idx.Contigs()), idx.ReferenceLength(), *format)
 }
 
 func cmdMem(args []string) {
 	fs := flag.NewFlagSet("mem", flag.ExitOnError)
-	threads := fs.Int("t", runtime.NumCPU(), "worker threads")
+	threads := fs.Int("t", 0, "worker threads (0 = NumCPU)")
 	modeStr := fs.String("mode", "optimized", "implementation: baseline or optimized")
 	all := fs.Bool("a", false, "output secondary alignments")
 	minScore := fs.Int("T", 30, "minimum score to output")
-	batch := fs.Int("batch", 512, "reads per batch (optimized layout)")
+	batch := fs.Int("batch", 0, "reads per batch (0 = default)")
 	fs.Parse(args)
 	if fs.NArg() != 2 && fs.NArg() != 3 {
 		usage()
 	}
-	mode := core.ModeOptimized
-	switch *modeStr {
-	case "baseline":
-		mode = core.ModeBaseline
-	case "optimized":
-	default:
-		die(fmt.Errorf("unknown mode %q", *modeStr))
-	}
-	pi, err := loadOrBuild(fs.Arg(0))
+	mode, err := bwamem.ParseMode(*modeStr)
 	if err != nil {
 		die(err)
 	}
-	loadReads := func(path string) []seq.Read {
+
+	idx, err := bwamem.OpenOrBuild(fs.Arg(0))
+	if err != nil {
+		die(err)
+	}
+	if idx.Info().Source == "fasta-build" {
+		fmt.Fprintf(os.Stderr, "[mem] no prebuilt index; indexed %d bp in memory (build %s.bwago with `bwamem index` to skip this)\n",
+			idx.ReferenceLength(), fs.Arg(0))
+	} else {
+		fmt.Fprintf(os.Stderr, "[mem] loaded prebuilt index (%s)\n", idx.Info().Source)
+	}
+	loadReads := func(path string) []bwamem.Read {
 		rf, err := os.Open(path)
 		if err != nil {
 			die(err)
 		}
 		defer rf.Close()
-		reads, err := seq.ReadFastq(rf)
+		reads, err := bwamem.ReadFastq(rf)
 		if err != nil {
 			die(err)
 		}
 		return reads
 	}
 	reads := loadReads(fs.Arg(1))
-	opts := core.DefaultOptions()
-	opts.OutputAll = *all
-	opts.ScoreThreshold = *minScore
-	aln, err := core.NewAlignerFrom(pi, mode, opts)
+
+	aln, err := bwamem.New(idx,
+		bwamem.WithMode(mode),
+		bwamem.WithThreads(*threads),
+		bwamem.WithBatchSize(*batch),
+		bwamem.WithMinOutputScore(*minScore),
+		bwamem.WithSecondaryOutput(*all),
+	)
 	if err != nil {
 		die(err)
 	}
-	cfg := pipeline.Config{Threads: *threads, BatchSize: *batch}
-	var res *pipeline.Result
+	defer aln.Close()
+
+	start := time.Now()
+	nReads := len(reads)
+	var sam []byte
 	if fs.NArg() == 3 { // paired-end: two FASTQ files
 		mates := loadReads(fs.Arg(2))
 		if len(mates) != len(reads) {
 			die(fmt.Errorf("paired files hold %d and %d reads", len(reads), len(mates)))
 		}
-		res = pipeline.RunPaired(aln, reads, mates, cfg)
+		nReads += len(mates)
+		sam, err = aln.AlignPairedSAM(context.Background(), reads, mates)
 	} else {
-		res = pipeline.Run(aln, reads, cfg)
+		sam, err = aln.AlignSAM(context.Background(), reads)
 	}
+	if err != nil {
+		die(err)
+	}
+	wall := time.Since(start)
+
 	out := bufio.NewWriterSize(os.Stdout, 1<<20)
-	out.WriteString(aln.SAMHeader())
-	out.Write(res.SAM)
+	out.Write(sam)
 	if err := out.Flush(); err != nil {
 		die(err)
 	}
 	fmt.Fprintf(os.Stderr, "[mem] %d reads in %v (%s mode, %d threads)\n",
-		res.Reads, res.Wall.Round(1000000), mode, *threads)
+		nReads, wall.Round(time.Millisecond), aln.Mode(), aln.Threads())
 }

@@ -1,7 +1,9 @@
 // Command bwaserve is the long-running alignment server: it loads (or
 // builds) the reference and FM-index once at startup, keeps them resident,
-// and serves single-end and paired-end alignment requests over HTTP,
-// multiplexing concurrent callers onto the paper's batch-staged pipeline.
+// and serves single-end and paired-end alignment requests over the
+// versioned /v1 HTTP API, multiplexing concurrent callers onto the paper's
+// batch-staged pipeline. It is built entirely on the public SDK
+// (pkg/bwamem); pkg/bwaclient is the matching client.
 //
 //	bwaserve -addr :8080 ref.fa                        serve a FASTA reference
 //	bwaserve -addr :8080 ref.fa.bwago                  serve a prebuilt index
@@ -13,17 +15,18 @@
 // bwaserve processes serving the same reference share one page-cached copy.
 // The mapping is unmapped only after the graceful drain completes.
 //
-// Endpoints: POST /align, POST /align/paired, GET /healthz, GET /metrics.
-// Request bodies are decoded incrementally and SAM responses are streamed
-// back chunk by chunk as batches complete; a disconnected client's (or a
+// Endpoints: POST /v1/align, POST /v1/align/paired, GET /v1/healthz,
+// GET /v1/metrics (the unversioned originals remain as aliases). Request
+// bodies are decoded incrementally and SAM responses are streamed back
+// chunk by chunk as batches complete; a disconnected client's (or a
 // -request-timeout expired request's) unstarted work is dropped from the
-// queue. Duplicate single-end read sequences (PCR/optical duplicates) are
-// served from a sharded result cache (-cache, -cache-bytes) instead of
-// re-running the alignment pipeline. SIGINT/SIGTERM drain gracefully:
-// in-flight requests complete, new ones are rejected with 503, then the
-// process exits.
+// queue and logged with its X-Request-Id. Duplicate single-end read
+// sequences (PCR/optical duplicates) are served from a sharded result
+// cache (-cache, -cache-bytes) instead of re-running the alignment
+// pipeline. SIGINT/SIGTERM drain gracefully: in-flight requests complete,
+// new ones are rejected with 503, then the process exits.
 //
-// See ARCHITECTURE.md for the full request path.
+// See ARCHITECTURE.md for the full request path and the API contract.
 package main
 
 import (
@@ -38,10 +41,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/seq"
-	"repro/internal/server"
+	"repro/pkg/bwamem"
 )
 
 func die(err error) {
@@ -54,16 +54,16 @@ func main() {
 	addr := fs.String("addr", ":8080", "listen address")
 	modeStr := fs.String("mode", "optimized", "implementation: baseline or optimized")
 	threads := fs.Int("t", 0, "worker threads (0 = NumCPU)")
-	batch := fs.Int("batch", core.DefaultBatchSize, "reads per batch / coalescing target")
-	maxInflight := fs.Int("max-inflight", core.DefaultMaxInFlightReads, "max reads admitted at once (429 beyond)")
+	batch := fs.Int("batch", 0, "reads per batch / coalescing target (0 = 512)")
+	maxInflight := fs.Int("max-inflight", 0, "max reads admitted at once, 429 beyond (0 = 65536)")
 	maxRequest := fs.Int("max-request-reads", 0, "max reads per request (0 = max-inflight)")
-	maxReadLen := fs.Int("max-read-len", core.DefaultMaxReadLen, "max bases per read (413 beyond)")
-	linger := fs.Duration("linger", core.DefaultCoalesceLinger, "partial-batch coalescing window (negative disables)")
+	maxReadLen := fs.Int("max-read-len", 0, "max bases per read, 413 beyond (0 = 65536)")
+	linger := fs.Duration("linger", 0, "partial-batch coalescing window (0 = 500µs, negative disables)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request alignment deadline (0 = none)")
 	cache := fs.Bool("cache", true, "cache single-end results by read sequence (duplicate-heavy traffic)")
-	cacheBytes := fs.Int64("cache-bytes", core.DefaultCacheBytes, "result-cache capacity in bytes")
-	cacheShards := fs.Int("cache-shards", core.DefaultCacheShards, "result-cache shard count (rounded up to a power of two)")
-	drain := fs.Duration("drain", core.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result-cache capacity in bytes (0 = 256 MiB)")
+	cacheShards := fs.Int("cache-shards", 0, "result-cache shard count, rounded up to a power of two (0 = 64)")
+	drain := fs.Duration("drain", 0, "graceful-shutdown drain timeout (0 = 30s)")
 	indexMmap := fs.Bool("index-mmap", false, "mmap the v2 .bwago index read-only instead of heap-loading it (many server processes share one page-cached copy)")
 	synthetic := fs.Int("synthetic", 0, "serve a synthetic genome of this many bp instead of a reference file")
 	seed := fs.Int64("seed", 42, "seed for -synthetic")
@@ -73,7 +73,21 @@ func main() {
 	}
 	fs.Parse(os.Args[1:])
 
-	cfg := core.DefaultServerConfig()
+	mode, err := bwamem.ParseMode(*modeStr)
+	if err != nil {
+		die(err)
+	}
+
+	idx, err := loadIndex(fs.Args(), *synthetic, *seed, *indexMmap)
+	if err != nil {
+		die(err)
+	}
+	aln, err := bwamem.New(idx, bwamem.WithMode(mode))
+	if err != nil {
+		die(err)
+	}
+
+	cfg := bwamem.DefaultServerConfig()
 	cfg.Threads = *threads
 	cfg.BatchSize = *batch
 	cfg.MaxInFlightReads = *maxInflight
@@ -85,33 +99,22 @@ func main() {
 	cfg.CacheEnabled = *cache
 	cfg.CacheBytes = *cacheBytes
 	cfg.CacheShards = *cacheShards
-	switch *modeStr {
-	case "baseline":
-		cfg.Mode = core.ModeBaseline
-	case "optimized":
-		cfg.Mode = core.ModeOptimized
-	default:
-		die(fmt.Errorf("unknown mode %q", *modeStr))
-	}
-
-	li, err := buildAligner(fs.Args(), *synthetic, *seed, cfg.Mode, *indexMmap)
+	srv, err := bwamem.NewServer(aln, cfg)
 	if err != nil {
 		die(err)
 	}
-	aln := li.aln
-	srv, err := server.New(aln, cfg)
-	if err != nil {
-		die(err)
-	}
-	srv.SetIndexInfo(li.info)
-	fmt.Fprintf(os.Stderr, "[bwaserve] index resident: %d contigs, %d bp (%s, %d MiB, loaded in %v); %d workers, batch %d, %s mode\n",
-		len(aln.Ref.Contigs), aln.Ref.Lpac(), li.info.Source, li.info.ResidentBytes>>20,
-		li.info.LoadTime.Round(time.Millisecond), srv.Config().Threads, srv.Config().BatchSize, cfg.Mode)
+	srv.SetLogf(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "[bwaserve] "+format+"\n", args...)
+	})
+	info := idx.Info()
+	fmt.Fprintf(os.Stderr, "[bwaserve] index resident: %d contigs, %d bp (%s, loaded in %v); %d workers, batch %d, %s mode\n",
+		len(idx.Contigs()), idx.ReferenceLength(), info.Source,
+		info.LoadTime.Round(time.Millisecond), srv.Config().Threads, srv.Config().BatchSize, aln.Mode())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "[bwaserve] listening on %s\n", *addr)
+		fmt.Fprintf(os.Stderr, "[bwaserve] listening on %s (API /v1/align, /v1/align/paired, /v1/healthz, /v1/metrics)\n", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -119,8 +122,8 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "[bwaserve] %v: draining (timeout %v)\n", sig, cfg.DrainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		fmt.Fprintf(os.Stderr, "[bwaserve] %v: draining (timeout %v)\n", sig, srv.Config().DrainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), srv.Config().DrainTimeout)
 		drainErr := srv.Shutdown(ctx)
 		if drainErr != nil {
 			fmt.Fprintln(os.Stderr, "[bwaserve]", drainErr)
@@ -128,7 +131,7 @@ func main() {
 		cancel()
 		// The HTTP connection drain gets its own budget: clients may still
 		// be reading large SAM responses the pipeline already produced.
-		hctx, hcancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		hctx, hcancel := context.WithTimeout(context.Background(), srv.Config().DrainTimeout)
 		if err := httpSrv.Shutdown(hctx); err != nil {
 			fmt.Fprintln(os.Stderr, "[bwaserve]", err)
 		}
@@ -137,8 +140,8 @@ func main() {
 		// touch slices borrowed from the mapping. If the drain timed out,
 		// straggler workers may still be running — leave the mapping to
 		// process exit rather than faulting them.
-		if li.mapped != nil && drainErr == nil {
-			if err := li.mapped.Close(); err != nil {
+		if info.Mmap && drainErr == nil {
+			if err := idx.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "[bwaserve]", err)
 			}
 		}
@@ -150,20 +153,10 @@ func main() {
 	}
 }
 
-// loadedIndex is buildAligner's result: the ready aligner, the /metrics
-// description of how it was loaded, and — when -index-mmap is in effect —
-// the mapping whose lifetime must outlive the drained scheduler.
-type loadedIndex struct {
-	aln    *core.Aligner
-	info   server.IndexInfo
-	mapped *core.MappedIndex // non-nil only for mmap loads; Close after drain
-}
-
-// buildAligner resolves the reference source: a prebuilt .bwago index
+// loadIndex resolves the reference source: a prebuilt .bwago index
 // (heap-loaded, or mmap'd with -index-mmap), a FASTA file (indexed in
 // memory, preferring a sibling .bwago), or a synthetic genome.
-func buildAligner(args []string, synthetic int, seed int64, mode core.Mode, useMmap bool) (*loadedIndex, error) {
-	opts := core.DefaultOptions()
+func loadIndex(args []string, synthetic int, seed int64, useMmap bool) (*bwamem.Index, error) {
 	if synthetic > 0 {
 		if len(args) != 0 {
 			return nil, fmt.Errorf("-synthetic and a reference path are mutually exclusive")
@@ -171,98 +164,39 @@ func buildAligner(args []string, synthetic int, seed int64, mode core.Mode, useM
 		if useMmap {
 			return nil, fmt.Errorf("-index-mmap needs a prebuilt .bwago index, not -synthetic")
 		}
-		ref, err := datasets.Genome(datasets.DefaultGenome("synthetic", synthetic, seed))
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "[bwaserve] generated synthetic genome: %d bp (seed %d)\n", synthetic, seed)
-		start := time.Now()
-		aln, err := core.NewAligner(ref, mode, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &loadedIndex{aln: aln, info: server.IndexInfo{
-			Source: "synthetic-build", LoadTime: time.Since(start), ResidentBytes: aln.IndexFootprint(),
-		}}, nil
+		fmt.Fprintf(os.Stderr, "[bwaserve] generating synthetic genome: %d bp (seed %d)\n", synthetic, seed)
+		return bwamem.Synthetic(synthetic, seed)
 	}
 	if len(args) != 1 {
 		return nil, fmt.Errorf("expected one reference path (or -synthetic); run with -h for usage")
 	}
 	path := args[0]
-	idxPath := path
-	if !strings.HasSuffix(idxPath, ".bwago") {
-		idxPath += ".bwago"
-	}
-	if _, err := os.Stat(idxPath); err == nil {
-		return loadPrebuilt(idxPath, mode, opts, useMmap)
-	} else if idxPath == path || useMmap {
-		// An explicit .bwago argument (or -index-mmap, which cannot build)
-		// must not silently fall back to FASTA parsing.
-		if useMmap {
-			return nil, fmt.Errorf("-index-mmap needs a prebuilt index: %s not found (build it with `bwamem index %s`)", idxPath, path)
-		}
-		return nil, err
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	ref, err := seq.ReferenceFromFasta(f)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(os.Stderr, "[bwaserve] indexing %d bp in memory (build %s.bwago with `bwamem index` to skip this)\n",
-		ref.Lpac(), path)
-	start := time.Now()
-	aln, err := core.NewAligner(ref, mode, opts)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(os.Stderr, "[bwaserve] index built in %v\n", time.Since(start).Round(time.Millisecond))
-	return &loadedIndex{aln: aln, info: server.IndexInfo{
-		Source: "fasta-build", LoadTime: time.Since(start), ResidentBytes: aln.IndexFootprint(),
-	}}, nil
-}
-
-// loadPrebuilt loads a .bwago file onto the heap or maps it, timing the
-// path from open to ready aligner.
-func loadPrebuilt(idxPath string, mode core.Mode, opts core.Options, useMmap bool) (*loadedIndex, error) {
-	start := time.Now()
 	if useMmap {
-		mi, err := core.OpenIndexMmap(idxPath)
-		if err != nil {
-			return nil, err
+		// -index-mmap cannot build, so it resolves the .bwago path itself
+		// instead of going through OpenOrBuild's FASTA fallback.
+		idxPath := path
+		if !strings.HasSuffix(idxPath, ".bwago") {
+			idxPath += ".bwago"
 		}
-		aln, err := core.NewAlignerFrom(&mi.Prebuilt, mode, opts)
+		idx, err := bwamem.OpenMmap(idxPath)
 		if err != nil {
-			mi.Close()
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("-index-mmap needs a prebuilt index: %s not found (build it with `bwamem index %s`)", idxPath, path)
+			}
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "[bwaserve] mmap'd prebuilt index %s\n", idxPath)
-		return &loadedIndex{aln: aln, mapped: mi, info: server.IndexInfo{
-			Source: "v2-mmap", Mmap: true, LoadTime: time.Since(start), ResidentBytes: mi.MappedBytes(),
-		}}, nil
+		return idx, nil
 	}
-	f, err := os.Open(idxPath)
+	idx, err := bwamem.OpenOrBuild(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	pi, err := core.ReadIndex(f)
-	if err != nil {
-		return nil, err
+	if src := idx.Info().Source; src == "fasta-build" {
+		fmt.Fprintf(os.Stderr, "[bwaserve] indexed %s in memory in %v (build %s.bwago with `bwamem index` to skip this)\n",
+			path, idx.Info().LoadTime.Round(time.Millisecond), path)
+	} else {
+		fmt.Fprintf(os.Stderr, "[bwaserve] loaded prebuilt index (%s)\n", src)
 	}
-	aln, err := core.NewAlignerFrom(pi, mode, opts)
-	if err != nil {
-		return nil, err
-	}
-	source := "v1-heap"
-	if pi.Occ32 != nil {
-		source = "v2-heap"
-	}
-	fmt.Fprintf(os.Stderr, "[bwaserve] loaded prebuilt index %s\n", idxPath)
-	return &loadedIndex{aln: aln, info: server.IndexInfo{
-		Source: source, LoadTime: time.Since(start), ResidentBytes: aln.IndexFootprint(),
-	}}, nil
+	return idx, nil
 }

@@ -16,8 +16,12 @@
 // pipeline as a long-lived HTTP service (internal/server, cmd/bwaserve)
 // that keeps the FM-index resident, coalesces concurrent requests into
 // the batch-staged workflow, and serves duplicate read sequences from a
-// sharded result cache (internal/rescache). See README.md for the server
-// API and ARCHITECTURE.md for a top-to-bottom tour of the request path
-// (admission → rescache → coalescer → scheduler → pipeline stages →
-// streamed SAM).
+// sharded result cache (internal/rescache).
+//
+// The public surface is pkg/bwamem (Go SDK: indexes, aligners, options,
+// embedded server) and pkg/bwaclient (client for the versioned /v1 wire
+// API); cmd/ and examples/ are built on them. See README.md for the
+// quickstart and wire contract, and ARCHITECTURE.md for a top-to-bottom
+// tour of the request path (admission → rescache → coalescer → scheduler
+// → pipeline stages → streamed SAM) plus the API versioning policy.
 package repro

@@ -1,50 +1,60 @@
-// pairedend demonstrates the paired-end API: simulate read pairs with a
-// known insert-size distribution, align both ends, and verify that the
-// pipeline re-discovers the distribution and emits proper pairs with
-// consistent TLEN — the downstream contract variant callers depend on.
+// pairedend demonstrates the paired-end SDK API: simulate read pairs with
+// a known insert-size distribution, align both ends through
+// bwamem.AlignPairedSAM, and verify that the pipeline re-discovers the
+// distribution and emits proper pairs with consistent TLEN — the
+// downstream contract variant callers depend on.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/pipeline"
+	"repro/pkg/bwamem"
 )
 
 func main() {
-	ref, err := datasets.Genome(datasets.DefaultGenome("chr1", 400_000, 23))
+	idx, err := bwamem.Synthetic(400_000, 23)
 	if err != nil {
 		log.Fatal(err)
 	}
-	prof := datasets.DefaultPairs(datasets.D4.Scaled(0.4)) // 2000 pairs
-	fmt.Printf("simulating %d pairs, insert %d±%d bp\n",
-		prof.NumReads, prof.InsertMean, prof.InsertStd)
-	r1, r2, err := datasets.SimulatePairs(ref, prof)
+	const (
+		nPairs  = 2000
+		readLen = 101
+	)
+	insertMean := 3 * readLen // SimulatePairs' insert model
+	fmt.Printf("simulating %d pairs, insert mean %d bp\n", nPairs, insertMean)
+	r1, r2, err := idx.SimulatePairs(nPairs, readLen, 104)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	aln, err := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	aln, err := bwamem.New(idx, bwamem.WithThreads(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := pipeline.RunPaired(aln, r1, r2, pipeline.Config{Threads: 2})
-	fmt.Printf("aligned %d records in %v\n", res.Reads, res.Wall)
+	defer aln.Close()
+	sam, err := aln.AlignPairedSAM(context.Background(), r1, r2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aligned %d records\n", 2*nPairs)
 
 	proper, total := 0, 0
 	var tlenSum, tlenN float64
-	for _, line := range strings.Split(strings.TrimSpace(string(res.SAM)), "\n") {
+	for _, line := range strings.Split(strings.TrimSpace(string(sam)), "\n") {
+		if strings.HasPrefix(line, "@") {
+			continue
+		}
 		f := strings.Split(line, "\t")
 		flag, _ := strconv.Atoi(f[1])
-		if flag&core.FlagFirst == 0 {
+		if flag&bwamem.FlagFirst == 0 {
 			continue // count each pair once, via read 1
 		}
 		total++
-		if flag&core.FlagProperPair != 0 {
+		if flag&bwamem.FlagProperPair != 0 {
 			proper++
 			if tl, _ := strconv.Atoi(f[8]); tl != 0 {
 				if tl < 0 {
@@ -57,5 +67,5 @@ func main() {
 	}
 	fmt.Printf("proper pairs: %d/%d (%.1f%%)\n", proper, total, 100*float64(proper)/float64(total))
 	fmt.Printf("mean |TLEN| of proper pairs: %.1f bp (simulated %d bp)\n",
-		tlenSum/tlenN, prof.InsertMean)
+		tlenSum/tlenN, insertMean)
 }

@@ -1,44 +1,45 @@
-// Quickstart: index a small reference, map a handful of reads, and print
-// SAM — the minimal end-to-end use of the library's public surface.
+// Quickstart: index a reference, map a handful of reads, and print SAM —
+// the minimal end-to-end use of the public SDK (pkg/bwamem), with no
+// reference files needed.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/pipeline"
+	"repro/pkg/bwamem"
 )
 
 func main() {
-	// 1. A reference genome. Real users would parse FASTA with
-	//    seq.ReferenceFromFasta; here we synthesize 100 kbp.
-	ref, err := datasets.Genome(datasets.DefaultGenome("demo", 100_000, 1))
+	// 1. An index. Real users would Build from FASTA (bwamem.BuildFile),
+	//    or Open/OpenMmap a prebuilt .bwago; here we synthesize 100 kbp.
+	idx, err := bwamem.Synthetic(100_000, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Build the aligner. ModeOptimized is the paper's design (η=32
-	//    FM-index, flat suffix array, batched extension); ModeBaseline is
-	//    original BWA-MEM. Both give identical output.
-	aln, err := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	// 2. An aligner over it. ModeOptimized (the default) is the paper's
+	//    design; ModeBaseline is original BWA-MEM. Both give identical
+	//    output. Options tune threads, batching, and scoring.
+	aln, err := bwamem.New(idx, bwamem.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer aln.Close()
+
+	// 3. Some reads. Real users would parse FASTQ with bwamem.ReadFastq.
+	reads, err := idx.SimulateReads(10, 100, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Some reads. Real users would parse FASTQ with seq.ReadFastq.
-	reads, err := datasets.Simulate(ref, datasets.Profile{
-		Name: "demo", NumReads: 10, ReadLen: 100, SubRate: 0.01, IndelRate: 0.1, Seed: 2,
-	})
+	// 4. Map and print a complete SAM document (header + records).
+	sam, err := aln.AlignSAM(context.Background(), reads)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 4. Map and print SAM.
-	res := pipeline.Run(aln, reads, pipeline.Config{Threads: 2})
-	fmt.Print(aln.SAMHeader())
-	os.Stdout.Write(res.SAM)
-	fmt.Fprintf(os.Stderr, "mapped %d reads in %v\n", res.Reads, res.Wall)
+	os.Stdout.Write(sam)
+	fmt.Fprintf(os.Stderr, "mapped %d reads\n", len(reads))
 }

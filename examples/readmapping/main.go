@@ -1,64 +1,72 @@
 // readmapping runs the workload the paper's introduction motivates — a
-// resequencing experiment — through both implementations, verifies the
-// outputs are identical (the paper's like-for-like replacement requirement),
-// and reports the speedup and mapping accuracy.
+// resequencing experiment — through both implementations via the public
+// SDK (pkg/bwamem), verifies the outputs are identical (the paper's
+// like-for-like replacement requirement), and reports the speedup and
+// mapping accuracy.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
-	"repro/internal/core"
 	"repro/internal/datasets"
-	"repro/internal/pipeline"
+	"repro/pkg/bwamem"
 )
 
 func main() {
-	ref, err := datasets.Genome(datasets.DefaultGenome("chr1", 500_000, 11))
+	idx, err := bwamem.Synthetic(500_000, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reads, err := datasets.Simulate(ref, datasets.D4) // 5000 x 101 bp
+	reads, err := idx.SimulateReads(5000, 101, 104)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reference %d bp, %d reads x %d bp\n", ref.Lpac(), len(reads), len(reads[0].Seq))
+	fmt.Printf("reference %d bp, %d reads x %d bp\n", idx.ReferenceLength(), len(reads), len(reads[0].Seq))
 
-	opts := core.DefaultOptions()
-	base, err := core.NewAligner(ref, core.ModeBaseline, opts)
-	if err != nil {
-		log.Fatal(err)
+	align := func(mode bwamem.Mode) ([]byte, time.Duration) {
+		aln, err := bwamem.New(idx, bwamem.WithMode(mode), bwamem.WithThreads(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer aln.Close()
+		start := time.Now()
+		sam, err := aln.AlignSAM(context.Background(), reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sam, time.Since(start)
 	}
-	opt, err := core.NewAligner(ref, core.ModeOptimized, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	samBase, wallBase := align(bwamem.ModeBaseline)
+	samOpt, wallOpt := align(bwamem.ModeOptimized)
+	fmt.Printf("baseline : %v\n", wallBase)
+	fmt.Printf("optimized: %v (x%.2f)\n", wallOpt, float64(wallBase)/float64(wallOpt))
 
-	rb := pipeline.Run(base, reads, pipeline.Config{Threads: 2})
-	ro := pipeline.Run(opt, reads, pipeline.Config{Threads: 2})
-	fmt.Printf("baseline : %v\n", rb.Wall)
-	fmt.Printf("optimized: %v (x%.2f)\n", ro.Wall, float64(rb.Wall)/float64(ro.Wall))
-
-	if !bytes.Equal(rb.SAM, ro.SAM) {
+	if !bytes.Equal(samBase, samOpt) {
 		log.Fatal("outputs differ — the like-for-like guarantee is broken!")
 	}
 	fmt.Println("outputs are byte-identical (like-for-like replacement holds)")
 
 	// Score accuracy against the simulation truth encoded in read names.
 	good, mapped := 0, 0
-	for _, line := range strings.Split(strings.TrimSpace(string(ro.SAM)), "\n") {
+	for _, line := range strings.Split(strings.TrimSpace(string(samOpt)), "\n") {
+		if strings.HasPrefix(line, "@") {
+			continue
+		}
 		f := strings.Split(line, "\t")
 		flag, _ := strconv.Atoi(f[1])
-		if flag&(core.FlagSecondary|core.FlagSupplementary|core.FlagUnmapped) != 0 {
+		if flag&(bwamem.FlagSecondary|bwamem.FlagSupplementary|bwamem.FlagUnmapped) != 0 {
 			continue
 		}
 		mapped++
 		pos, _ := strconv.Atoi(f[3])
 		truth, rev, _ := datasets.TruePos(f[0])
-		if rev == (flag&core.FlagReverse != 0) && abs(pos-1-truth) <= 12 {
+		if rev == (flag&bwamem.FlagReverse != 0) && abs(pos-1-truth) <= 12 {
 			good++
 		}
 	}

@@ -1,44 +1,63 @@
 // scalingdemo sweeps worker threads over the optimized pipeline on this
 // machine — a miniature of the paper's Figure 4 single-socket scaling
-// experiment — and prints the per-kernel time split at each point.
+// experiment — through the public SDK, and prints the per-kernel time
+// split at each point (Aligner.StageSeconds).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/counters"
-	"repro/internal/datasets"
-	"repro/internal/pipeline"
+	"repro/pkg/bwamem"
 )
 
 func main() {
-	ref, err := datasets.Genome(datasets.DefaultGenome("chr1", 300_000, 17))
+	idx, err := bwamem.Synthetic(300_000, 17)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reads, err := datasets.Simulate(ref, datasets.D1) // 2000 x 151 bp
-	if err != nil {
-		log.Fatal(err)
-	}
-	aln, err := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	reads, err := idx.SimulateReads(2000, 151, 101)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var base float64
 	for t := 1; t <= runtime.NumCPU(); t++ {
-		res := pipeline.Run(aln, reads, pipeline.Config{Threads: t})
-		wall := float64(res.Wall.Microseconds()) / 1000
+		aln, err := bwamem.New(idx, bwamem.WithThreads(t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := aln.AlignSAM(context.Background(), reads); err != nil {
+			log.Fatal(err)
+		}
+		wall := float64(time.Since(start).Microseconds()) / 1000
+
+		// Per-stage kernel seconds accumulated by this aligner's pool.
+		ss := aln.StageSeconds()
+		aln.Close()
+		var total float64
+		for _, v := range ss {
+			total += v
+		}
+		frac := func(stages ...string) float64 {
+			var s float64
+			for _, st := range stages {
+				s += ss[st]
+			}
+			if total == 0 {
+				return 0
+			}
+			return 100 * s / total
+		}
 		if t == 1 {
 			base = wall
 		}
 		fmt.Printf("threads=%d  wall %8.1f ms  speedup x%.2f  | SMEM %5.1f%%  SAL %4.1f%%  BSW %5.1f%%  other %5.1f%%\n",
 			t, wall, base/wall,
-			100*res.Clock.Fraction(counters.StageSMEM),
-			100*res.Clock.Fraction(counters.StageSAL),
-			100*(res.Clock.Fraction(counters.StageBSWPre)+res.Clock.Fraction(counters.StageBSW)),
-			100*(res.Clock.Fraction(counters.StageChain)+res.Clock.Fraction(counters.StageSAMForm)+res.Clock.Fraction(counters.StageMisc)))
+			frac("SMEM"), frac("SAL"), frac("BSW-pre", "BSW"),
+			frac("CHAIN", "SAM-FORM", "Misc"))
 	}
 }

@@ -1,20 +1,18 @@
-// Serverdemo exercises the alignment server end to end as a client would:
-// it starts an in-process server over a synthetic genome, fires concurrent
-// single-end FASTQ and paired-end JSON requests at it over real HTTP,
-// shows the response streaming (first SAM bytes arriving while the rest of
-// the request is still aligning), a client disconnect freeing its
-// admission budget, and duplicate-heavy traffic (PCR-duplicate style)
-// being served from the result cache, and finishes with the server's own
-// /metrics view.
+// Serverdemo exercises the alignment service end to end through the
+// public SDK: it starts an in-process server (pkg/bwamem.NewServer) over a
+// synthetic genome and drives it with the Go client (pkg/bwaclient) over
+// real HTTP — concurrent single-end requests, a paired-end request, the
+// response stream delivering its first records while the rest of the
+// request is still aligning, a typed API error with its request ID, a
+// client cancellation freeing its admission budget, duplicate-heavy
+// traffic (PCR-duplicate style) served from the result cache, and finally
+// the server's own /v1/metrics view.
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
@@ -22,30 +20,40 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/seq"
-	"repro/internal/server"
+	"repro/pkg/bwaclient"
+	"repro/pkg/bwamem"
 )
 
+// clientReads converts SDK reads to client reads (field-identical types).
+func clientReads(reads []bwamem.Read) []bwaclient.Read {
+	out := make([]bwaclient.Read, len(reads))
+	for i, r := range reads {
+		out[i] = bwaclient.Read(r)
+	}
+	return out
+}
+
 func main() {
-	// 1. Reference + resident index, as bwaserve does at startup.
-	ref, err := datasets.Genome(datasets.DefaultGenome("demo", 120_000, 7))
+	// 1. Reference + resident index + server, as bwaserve does at startup.
+	idx, err := bwamem.Synthetic(120_000, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	aln, err := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	aln, err := bwamem.New(idx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultServerConfig()
+	cfg := bwamem.DefaultServerConfig()
 	cfg.Threads = 4
 	cfg.BatchSize = 128
-	srv, err := server.New(aln, cfg)
+	srv, err := bwamem.NewServer(aln, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.SetLogf(func(format string, args ...any) {
+		fmt.Printf("  [server] "+format+"\n", args...)
+	})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -55,11 +63,16 @@ func main() {
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Println("server listening on", base)
+	fmt.Println("server listening on", base, "(API under /v1)")
 
-	// 2. Concurrent single-end requests (raw FASTQ bodies). The server
-	//    coalesces their reads into shared batches.
-	reads, err := datasets.Simulate(ref, datasets.D4.Scaled(0.04)) // 200 reads
+	c, err := bwaclient.New(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Concurrent single-end requests. The server coalesces their reads
+	//    into shared batches; each caller gets exactly its own records.
+	reads, err := idx.SimulateReads(200, 101, 104)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,15 +82,11 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sub := reads[part*50 : (part+1)*50]
-			var body bytes.Buffer
-			seq.WriteFastq(&body, sub)
-			resp, err := http.Post(base+"/align?header=0", "application/x-fastq", &body)
+			sub := clientReads(reads[part*50 : (part+1)*50])
+			sam, err := c.AlignSAM(context.Background(), sub)
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer resp.Body.Close()
-			sam, _ := io.ReadAll(resp.Body)
 			lines := strings.Split(strings.TrimSuffix(string(sam), "\n"), "\n")
 			fmt.Printf("single-end request %d: %d -> %d SAM records (first: %.60s...)\n",
 				part, len(sub), len(lines), lines[0])
@@ -85,104 +94,92 @@ func main() {
 	}
 	wg.Wait()
 
-	// 3. One paired-end request with a JSON body.
-	r1, r2, err := datasets.SimulatePairs(ref, datasets.DefaultPairs(datasets.D4.Scaled(0.01)))
+	// 3. One paired-end request.
+	r1, r2, err := idx.SimulatePairs(50, 101, 9)
 	if err != nil {
 		log.Fatal(err)
 	}
-	type jsonRead struct {
-		Name string `json:"name"`
-		Seq  string `json:"seq"`
-		Qual string `json:"qual,omitempty"`
-	}
-	payload := struct {
-		Reads1 []jsonRead `json:"reads1"`
-		Reads2 []jsonRead `json:"reads2"`
-	}{}
-	for i := range r1 {
-		payload.Reads1 = append(payload.Reads1, jsonRead{r1[i].Name, string(r1[i].Seq), string(r1[i].Qual)})
-		payload.Reads2 = append(payload.Reads2, jsonRead{r2[i].Name, string(r2[i].Seq), string(r2[i].Qual)})
-	}
-	body, _ := json.Marshal(payload)
-	resp, err := http.Post(base+"/align/paired?header=0", "application/json", bytes.NewReader(body))
+	psam, err := c.AlignPairedSAM(context.Background(), clientReads(r1), clientReads(r2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sam, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
 	fmt.Printf("paired-end request: %d pairs -> %d SAM records\n",
-		len(r1), strings.Count(string(sam), "\n"))
+		len(r1), strings.Count(string(psam), "\n"))
 
-	// 4. Response streaming: one big request, read incrementally. The first
-	//    SAM bytes arrive while most of the request is still in the queue —
-	//    the server no longer buffers the whole response.
-	big := make([]seq.Read, 0, 20*len(reads))
+	// 4. Response streaming: one big request consumed record by record.
+	//    The first records arrive while most of the request is still in
+	//    the queue — the server does not buffer the whole response.
+	big := make([]bwaclient.Read, 0, 20*len(reads))
 	for i := 0; i < 20; i++ {
-		big = append(big, reads...)
+		big = append(big, clientReads(reads)...)
 	}
-	var bigBody bytes.Buffer
-	seq.WriteFastq(&bigBody, big)
 	t0 := time.Now()
-	resp, err = http.Post(base+"/align?header=0", "application/x-fastq", &bigBody)
+	st, err := c.Align(context.Background(), big)
 	if err != nil {
 		log.Fatal(err)
 	}
-	br := bufio.NewReader(resp.Body)
-	if _, err := br.ReadByte(); err != nil {
+	var ttfb time.Duration
+	records := 0
+	for st.Next() {
+		if records == 0 {
+			ttfb = time.Since(t0)
+		}
+		records++
+	}
+	if err := st.Err(); err != nil {
 		log.Fatal(err)
 	}
-	ttfb := time.Since(t0)
-	rest, _ := io.ReadAll(br)
-	total := time.Since(t0)
-	resp.Body.Close()
-	fmt.Printf("streaming: %d reads -> first byte after %v, full %d-byte SAM after %v\n",
-		len(big), ttfb.Round(time.Microsecond), len(rest)+1, total.Round(time.Microsecond))
+	st.Close()
+	fmt.Printf("streaming: %d reads (request %s) -> first record after %v, all %d records after %v\n",
+		len(big), st.RequestID(), ttfb.Round(time.Microsecond), records, time.Since(t0).Round(time.Microsecond))
 
-	// 5. Cancellation: a client that gives up mid-request has its queued
-	//    work dropped and its admission budget released. The deadline is
-	//    chosen to land after admission but well before alignment finishes.
+	// 5. Typed errors: an invalid read is rejected with a machine-readable
+	//    code and the request ID to quote at the server's logs.
+	_, err = c.Align(context.Background(), []bwaclient.Read{{Name: "bad", Seq: []byte("AC GT")}})
+	var ae *bwaclient.APIError
+	if errors.As(err, &ae) {
+		fmt.Printf("typed error: HTTP %d, code=%s, request_id=%s\n", ae.StatusCode, ae.Code, ae.RequestID)
+	}
+
+	// 6. Cancellation: a client that gives up mid-request has its queued
+	//    work dropped and its admission budget released; the server logs
+	//    the request ID (see [server] line). The deadline lands after
+	//    admission but well before alignment finishes.
 	ctx, cancel := context.WithTimeout(context.Background(), ttfb/2)
-	defer cancel()
-	var cancelBody bytes.Buffer
-	seq.WriteFastq(&cancelBody, big)
-	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/align?header=0", &cancelBody)
-	if cresp, err := http.DefaultClient.Do(req); err != nil {
+	if _, err := c.AlignSAM(ctx, big); err != nil {
 		fmt.Printf("cancelled client: %v\n", ctx.Err())
 	} else {
-		io.Copy(io.Discard, cresp.Body)
-		cresp.Body.Close()
 		fmt.Println("cancellation demo: request finished before the deadline fired (fast machine)")
 	}
-	// 6. Duplicate-heavy traffic: real sequencing runs repeat the same
+	cancel()
+
+	// 7. Duplicate-heavy traffic: real sequencing runs repeat the same
 	//    sequence many times (PCR/optical duplicates). The server caches
 	//    alignment regions by sequence, so a 90%-duplicate request costs
 	//    roughly the unique 10% in pipeline work — every copy still gets
 	//    its own record, rendered under its own read name.
-	dupDemo(base, reads)
+	dupDemo(c, clientReads(reads))
 
-	// Let the server finish abandoning the request before reading /metrics.
+	// Let the server finish abandoning the cancelled request before
+	// reading /v1/metrics.
 	for i := 0; i < 1000; i++ {
-		hr, err := http.Get(base + "/healthz")
+		h, err := c.Health(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		hb, _ := io.ReadAll(hr.Body)
-		hr.Body.Close()
-		if strings.Contains(string(hb), `"reads_inflight":0`) {
+		if h.ReadsInflight == 0 {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	// 7. The server's own view of what just happened.
-	resp, err = http.Get(base + "/metrics")
+	// 8. The server's own view of what just happened.
+	metrics, err := c.Metrics(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	metrics, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	fmt.Println("\n/metrics:")
-	for _, line := range strings.Split(strings.TrimSpace(string(metrics)), "\n") {
+	fmt.Println("\n/v1/metrics:")
+	for _, line := range strings.Split(strings.TrimSpace(metrics), "\n") {
 		if strings.Contains(line, "requests_total") || strings.Contains(line, "reads_total") ||
 			strings.Contains(line, "batches") || strings.Contains(line, "stage_seconds{") ||
 			strings.Contains(line, "cancelled") || strings.Contains(line, "dropped") ||
@@ -193,17 +190,14 @@ func main() {
 }
 
 // dupDemo fires a duplicate-heavy single-end request — 10% unique reads,
-// each repeated 10 times under fresh names — and reports the cache's view
-// of it alongside the wall time of an equivalent all-unique request.
-func dupDemo(base string, unique []seq.Read) {
+// each repeated 10 times under fresh names — and reports the cache's view.
+func dupDemo(c *bwaclient.Client, unique []bwaclient.Read) {
 	cacheStats := func() (hits, misses int64) {
-		resp, err := http.Get(base + "/metrics")
+		metrics, err := c.Metrics(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer resp.Body.Close()
-		body, _ := io.ReadAll(resp.Body)
-		for _, line := range strings.Split(string(body), "\n") {
+		for _, line := range strings.Split(metrics, "\n") {
 			if n, ok := strings.CutPrefix(line, "bwaserve_cache_hits_total "); ok {
 				fmt.Sscan(n, &hits)
 			}
@@ -217,22 +211,18 @@ func dupDemo(base string, unique []seq.Read) {
 
 	// 90% duplication: every unique read appears 10 times, each copy under
 	// its own name (as PCR duplicates would).
-	var dup []seq.Read
+	var dup []bwaclient.Read
 	for copyN := 0; copyN < 10; copyN++ {
 		for i, r := range unique {
-			dup = append(dup, seq.Read{
+			dup = append(dup, bwaclient.Read{
 				Name: fmt.Sprintf("dup%d.%d", i, copyN), Seq: r.Seq, Qual: r.Qual})
 		}
 	}
-	var body bytes.Buffer
-	seq.WriteFastq(&body, dup)
 	t0 := time.Now()
-	resp, err := http.Post(base+"/align?header=0", "application/x-fastq", &body)
+	sam, err := c.AlignSAM(context.Background(), dup)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sam, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
 	elapsed := time.Since(t0)
 
 	h1, m1 := cacheStats()

@@ -125,3 +125,7 @@ func (m *MappedIndex) MappedBytes() int64 { return m.size }
 
 // Path returns the mapped file's path.
 func (m *MappedIndex) Path() string { return m.path }
+
+// IsMapped reports whether the index aliases a shared read-only file
+// mapping — always true on this platform.
+func (m *MappedIndex) IsMapped() bool { return true }

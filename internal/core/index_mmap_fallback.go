@@ -53,5 +53,9 @@ func (m *MappedIndex) Close() error { return nil }
 // MappedBytes returns the heap footprint of the loaded index.
 func (m *MappedIndex) MappedBytes() int64 { return m.size }
 
+// IsMapped reports whether the index aliases a shared read-only file
+// mapping — always false on this platform's heap fallback.
+func (m *MappedIndex) IsMapped() bool { return false }
+
 // Path returns the loaded file's path.
 func (m *MappedIndex) Path() string { return m.path }

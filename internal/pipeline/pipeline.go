@@ -85,6 +85,23 @@ func Run(a *core.Aligner, reads []seq.Read, cfg Config) *Result {
 // runs on a shared one — use Scheduler.Clock for cumulative accounting
 // there and treat per-call clocks as approximate.
 func RunOn(s *Scheduler, reads []seq.Read, cfg Config) *Result {
+	perRead := make([][]byte, len(reads))
+	// context.Background never cancels, so the error is structurally nil.
+	res, _ := RunStreamOn(context.Background(), s, reads, cfg,
+		func(i int, rec []byte) { perRead[i] = rec })
+	res.SAM = concatRecords(perRead)
+	return res
+}
+
+// RunStreamOn is RunOn with incremental output and per-request
+// cancellation — the single-end counterpart of RunPairedStreamOn. emit is
+// called exactly once per read index with that read's SAM records, from
+// worker goroutines in completion (not index) order, as soon as the read
+// is formatted. emit must be safe for concurrent use. When ctx is
+// cancelled, batches not yet started are dropped from the scheduler
+// queue, emit stops being called, and the return is (nil, ctx.Err()); the
+// Result's SAM field is always nil (the records went through emit).
+func RunStreamOn(ctx context.Context, s *Scheduler, reads []seq.Read, cfg Config, emit func(i int, rec []byte)) (*Result, error) {
 	a := s.Aligner()
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = core.DefaultBatchSize
@@ -106,8 +123,8 @@ func RunOn(s *Scheduler, reads []seq.Read, cfg Config) *Result {
 	for i := range reads {
 		codes[i] = seq.Encode(reads[i].Seq)
 	}
-	perRead := make([][]byte, len(reads))
 
+	var err error
 	switch layout {
 	case LayoutPerRead:
 		// One task per worker, each pulling read indices from a shared
@@ -115,21 +132,22 @@ func RunOn(s *Scheduler, reads []seq.Read, cfg Config) *Result {
 		// allocation and a contended send per read, which is measurable
 		// noise in the baseline layout this path exists to measure.
 		var next int64 = -1
-		s.Each(s.Threads(), func(ws *core.Workspace, _ int) {
-			for {
+		err = s.EachCtx(ctx, s.Threads(), func(ws *core.Workspace, _ int) {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(reads) {
 					return
 				}
 				regs := a.AlignRead(codes[i], ws)
 				t0 := time.Now()
-				perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs)
+				rec := a.AppendSAM(nil, &reads[i], codes[i], regs)
 				ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
+				emit(i, rec)
 			}
 		})
 	default: // LayoutBatched
 		nBatches := (len(reads) + cfg.BatchSize - 1) / cfg.BatchSize
-		s.Each(nBatches, func(ws *core.Workspace, b int) {
+		err = s.EachCtx(ctx, nBatches, func(ws *core.Workspace, b int) {
 			lo := b * cfg.BatchSize
 			hi := lo + cfg.BatchSize
 			if hi > len(reads) {
@@ -138,17 +156,19 @@ func RunOn(s *Scheduler, reads []seq.Read, cfg Config) *Result {
 			regs := a.AlignBatch(codes[lo:hi], ws)
 			t0 := time.Now()
 			for i := lo; i < hi; i++ {
-				perRead[i] = a.AppendSAM(nil, &reads[i], codes[i], regs[i-lo])
+				emit(i, a.AppendSAM(nil, &reads[i], codes[i], regs[i-lo]))
 			}
 			ws.Clock.Add(counters.StageSAMForm, time.Since(t0))
 		})
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{Reads: len(reads), Wall: time.Since(start)}
 	res.Clock = s.Clock()
 	res.Clock.Sub(&clock0)
-	res.SAM = concatRecords(perRead)
-	return res
+	return res, nil
 }
 
 // concatRecords joins per-read record slices into one buffer sized up front.

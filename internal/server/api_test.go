@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/seq"
+	"repro/pkg/bwaclient"
+)
+
+// decodeEnvelope parses and sanity-checks a typed error response: JSON
+// content type, well-formed envelope, request_id matching the header.
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder) errorEnvelope {
+	t.Helper()
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type = %q, want application/json", ct)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error body is not a JSON envelope: %v (%q)", err, w.Body.String())
+	}
+	if env.Code == "" || env.Message == "" {
+		t.Fatalf("envelope incomplete: %+v", env)
+	}
+	if env.RequestID == "" || env.RequestID != w.Header().Get("X-Request-Id") {
+		t.Fatalf("envelope request_id %q != X-Request-Id header %q",
+			env.RequestID, w.Header().Get("X-Request-Id"))
+	}
+	return env
+}
+
+// TestContentNegotiationAndEnvelopes is the wire-contract table: method,
+// Content-Type, and body shape against expected status and error code, on
+// both the /v1 and legacy path families.
+func TestContentNegotiationAndEnvelopes(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	_, reads, _, _ := setup(t)
+	fastq := fastqBody(reads[:2]).String()
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		ct       string
+		body     string
+		wantCode int
+		wantErr  string // expected envelope code; "" = success (no envelope)
+	}{
+		{"fastq no content type", http.MethodPost, "/align", "", fastq, http.StatusOK, ""},
+		{"fastq text/plain", http.MethodPost, "/align", "text/plain", fastq, http.StatusOK, ""},
+		{"fastq x-fastq", http.MethodPost, "/align", "application/x-fastq", fastq, http.StatusOK, ""},
+		{"fastq text/x-fastq", http.MethodPost, "/align", "text/x-fastq; charset=utf-8", fastq, http.StatusOK, ""},
+		{"fastq octet-stream", http.MethodPost, "/align", "application/octet-stream", fastq, http.StatusOK, ""},
+		{"json", http.MethodPost, "/align", "application/json",
+			`{"reads":[{"name":"r1","seq":"ACGTACGTACGTACGTACGT"}]}`, http.StatusOK, ""},
+		{"json suffix type", http.MethodPost, "/align", "application/vnd.bwa+json",
+			`{"reads":[{"name":"r1","seq":"ACGTACGTACGTACGTACGT"}]}`, http.StatusOK, ""},
+
+		{"GET align", http.MethodGet, "/align", "", "", http.StatusMethodNotAllowed, codeMethodNotAllowed},
+		{"PUT align", http.MethodPut, "/align", "", fastq, http.StatusMethodNotAllowed, codeMethodNotAllowed},
+		{"DELETE paired", http.MethodDelete, "/align/paired", "", "", http.StatusMethodNotAllowed, codeMethodNotAllowed},
+		{"POST healthz", http.MethodPost, "/healthz", "", "", http.StatusMethodNotAllowed, codeMethodNotAllowed},
+		{"POST metrics", http.MethodPost, "/metrics", "", "", http.StatusMethodNotAllowed, codeMethodNotAllowed},
+
+		{"xml body", http.MethodPost, "/align", "application/xml", "<reads/>", http.StatusUnsupportedMediaType, codeUnsupportedMedia},
+		{"form body", http.MethodPost, "/align", "application/x-www-form-urlencoded", "reads=x", http.StatusUnsupportedMediaType, codeUnsupportedMedia},
+		{"garbage content type", http.MethodPost, "/align", "n;o;t/valid;;", "x", http.StatusUnsupportedMediaType, codeUnsupportedMedia},
+		{"xml paired", http.MethodPost, "/align/paired", "text/xml", "<reads/>", http.StatusUnsupportedMediaType, codeUnsupportedMedia},
+
+		{"garbage fastq", http.MethodPost, "/align", "", "not fastq", http.StatusBadRequest, codeBadRequest},
+		{"empty read set", http.MethodPost, "/align", "application/json", `{"reads":[]}`, http.StatusBadRequest, codeBadRequest},
+		{"empty seq", http.MethodPost, "/align", "application/json", `{"reads":[{"name":"x","seq":""}]}`, http.StatusBadRequest, codeBadRequest},
+		{"odd interleave", http.MethodPost, "/align/paired", "", "@r\nACGT\n+\nIIII\n", http.StatusBadRequest, codeBadRequest},
+
+		{"unknown route", http.MethodGet, "/v2/align", "", "", http.StatusNotFound, codeNotFound},
+		{"root", http.MethodGet, "/", "", "", http.StatusNotFound, codeNotFound},
+	}
+
+	for _, tc := range cases {
+		for _, prefix := range []string{"", "/v1"} {
+			path := tc.path
+			if prefix != "" && strings.HasPrefix(path, "/align") || prefix != "" && (path == "/healthz" || path == "/metrics") {
+				path = prefix + path
+			} else if prefix != "" {
+				continue // 404 cases don't get a /v1 variant
+			}
+			t.Run(tc.name+path, func(t *testing.T) {
+				req := httptest.NewRequest(tc.method, path+"?header=0", strings.NewReader(tc.body))
+				if tc.ct != "" {
+					req.Header.Set("Content-Type", tc.ct)
+				}
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, req)
+				if w.Code != tc.wantCode {
+					t.Fatalf("status %d, want %d (body %q)", w.Code, tc.wantCode, w.Body.String())
+				}
+				if w.Header().Get("X-Request-Id") == "" {
+					t.Fatal("response missing X-Request-Id")
+				}
+				if tc.wantErr != "" {
+					if env := decodeEnvelope(t, w); env.Code != tc.wantErr {
+						t.Fatalf("envelope code %q, want %q", env.Code, tc.wantErr)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestV1AndLegacyByteIdentical: the /v1 routes serve byte-identical SAM to
+// the legacy aliases for the same request.
+func TestV1AndLegacyByteIdentical(t *testing.T) {
+	aln, reads, r1, r2 := setup(t)
+	s := newTestServer(t, testConfig())
+
+	wv1 := post(s, "/v1/align?header=0", "", fastqBody(reads))
+	wleg := post(s, "/align?header=0", "", fastqBody(reads))
+	if wv1.Code != http.StatusOK || wleg.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", wv1.Code, wleg.Code)
+	}
+	if !bytes.Equal(wv1.Body.Bytes(), wleg.Body.Bytes()) {
+		t.Fatal("/v1/align and /align responses differ")
+	}
+	want := pipeline.Run(aln, reads, pipeline.Config{Threads: 4, BatchSize: 64})
+	if !bytes.Equal(wv1.Body.Bytes(), want.SAM) {
+		t.Fatal("/v1/align differs from pipeline.Run")
+	}
+
+	inter := fastqBody(interleave(r1, r2))
+	pv1 := post(s, "/v1/align/paired?header=0", "", inter)
+	pleg := post(s, "/align/paired?header=0", "", fastqBody(interleave(r1, r2)))
+	if pv1.Code != http.StatusOK || pleg.Code != http.StatusOK {
+		t.Fatalf("paired status %d / %d", pv1.Code, pleg.Code)
+	}
+	if !bytes.Equal(pv1.Body.Bytes(), pleg.Body.Bytes()) {
+		t.Fatal("/v1/align/paired and /align/paired responses differ")
+	}
+}
+
+// TestRequestIDPropagation: a valid client-supplied X-Request-Id is
+// echoed; an unsafe one is replaced.
+func TestRequestIDPropagation(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	_, reads, _, _ := setup(t)
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/align?header=0", fastqBody(reads[:1]))
+	req.Header.Set("X-Request-Id", "caller-supplied-42")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if got := w.Header().Get("X-Request-Id"); got != "caller-supplied-42" {
+		t.Fatalf("client request ID not echoed: %q", got)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	req.Header.Set("X-Request-Id", "bad id with spaces\"")
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	got := w.Header().Get("X-Request-Id")
+	if got == "" || strings.Contains(got, " ") {
+		t.Fatalf("unsafe request ID not replaced: %q", got)
+	}
+}
+
+// Test429EnvelopeAndRetryAfter: admission shedding carries the overloaded
+// code and keeps Retry-After.
+func Test429EnvelopeAndRetryAfter(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInFlightReads = 8
+	s := newTestServer(t, cfg)
+	_, reads, _, _ := setup(t)
+	if err := s.adm.TryAcquire(8); err != nil {
+		t.Fatal(err)
+	}
+	defer s.adm.Release(8)
+	w := post(s, "/v1/align", "", fastqBody(reads[:1]))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if env := decodeEnvelope(t, w); env.Code != codeOverloaded {
+		t.Fatalf("envelope code %q", env.Code)
+	}
+}
+
+// Test413Envelope: the size-policy rejections carry too_large.
+func Test413Envelope(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxReadsPerRequest = 2
+	cfg.MaxInFlightReads = 100
+	s := newTestServer(t, cfg)
+	_, reads, _, _ := setup(t)
+	w := post(s, "/v1/align", "", fastqBody(reads[:3]))
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d", w.Code)
+	}
+	if env := decodeEnvelope(t, w); env.Code != codeTooLarge {
+		t.Fatalf("envelope code %q", env.Code)
+	}
+}
+
+// TestDrainingEnvelope: post-shutdown rejections carry draining.
+func TestDrainingEnvelope(t *testing.T) {
+	aln, reads, _, _ := setup(t)
+	s, err := New(aln, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w := post(s, "/v1/align", "", fastqBody(reads[:1]))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", w.Code)
+	}
+	if env := decodeEnvelope(t, w); env.Code != codeDraining {
+		t.Fatalf("envelope code %q", env.Code)
+	}
+}
+
+// TestErrorCodesMatchClient cross-checks the server's wire codes against
+// pkg/bwaclient's exported constants, so the two lists cannot drift.
+func TestErrorCodesMatchClient(t *testing.T) {
+	pairs := []struct{ server, client string }{
+		{codeBadRequest, bwaclient.CodeBadRequest},
+		{codeTooLarge, bwaclient.CodeTooLarge},
+		{codeMethodNotAllowed, bwaclient.CodeMethodNotAllowed},
+		{codeUnsupportedMedia, bwaclient.CodeUnsupportedMediaType},
+		{codeOverloaded, bwaclient.CodeOverloaded},
+		{codeDraining, bwaclient.CodeDraining},
+		{codeDeadlineExceeded, bwaclient.CodeDeadlineExceeded},
+		{codeNotFound, bwaclient.CodeNotFound},
+	}
+	for _, p := range pairs {
+		if p.server != p.client {
+			t.Errorf("server code %q != client constant %q", p.server, p.client)
+		}
+	}
+}
+
+// TestRoutesListed sanity-checks the exported route table.
+func TestRoutesListed(t *testing.T) {
+	routes := Routes()
+	want := []string{
+		"POST /v1/align (alias /align)",
+		"POST /v1/align/paired (alias /align/paired)",
+		"GET /v1/healthz (alias /healthz)",
+		"GET /v1/metrics (alias /metrics)",
+	}
+	if len(routes) != len(want) {
+		t.Fatalf("Routes() = %v", routes)
+	}
+	for i := range want {
+		if routes[i] != want[i] {
+			t.Fatalf("Routes()[%d] = %q, want %q", i, routes[i], want[i])
+		}
+	}
+}
+
+func interleave(r1, r2 []seq.Read) []seq.Read {
+	out := make([]seq.Read, 0, 2*len(r1))
+	for i := range r1 {
+		out = append(out, r1[i], r2[i])
+	}
+	return out
+}

@@ -5,9 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"mime"
 	"net/http"
-	"strings"
 
 	"repro/internal/pipeline"
 	"repro/internal/seq"
@@ -139,17 +137,6 @@ func basePairName(name string) string {
 	return name
 }
 
-// isJSON reports whether the request body is JSON; any other content type
-// (text/plain, application/x-fastq, none) is treated as raw FASTQ.
-func isJSON(r *http.Request) bool {
-	ct := r.Header.Get("Content-Type")
-	if ct == "" {
-		return false
-	}
-	mt, _, err := mime.ParseMediaType(ct)
-	return err == nil && (mt == "application/json" || strings.HasSuffix(mt, "+json"))
-}
-
 // wantHeader reports whether the response should start with the SAM header
 // (default yes; ?header=0 yields records only, byte-identical to
 // pipeline.Run's Result.SAM).
@@ -194,10 +181,11 @@ func scanFastq(body io.Reader, max, maxLen int) ([]seq.Read, error) {
 }
 
 // parseSingle extracts and validates the read set of a single-end request,
-// streaming the decode so caps and validation apply mid-body.
-func (s *Server) parseSingle(r *http.Request) ([]seq.Read, error) {
+// streaming the decode so caps and validation apply mid-body. asJSON is
+// the negotiated body family (alignBodyKind).
+func (s *Server) parseSingle(r *http.Request, asJSON bool) ([]seq.Read, error) {
 	max, maxLen := s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen
-	if !isJSON(r) {
+	if !asJSON {
 		return scanFastq(r.Body, max, maxLen)
 	}
 	var reads []seq.Read
@@ -225,9 +213,9 @@ func (s *Server) parseSingle(r *http.Request) ([]seq.Read, error) {
 // body arrives — and pair names must agree (after /1,/2 suffix stripping):
 // misordered interleaved input would otherwise silently produce wrong
 // pairings.
-func (s *Server) parsePaired(r *http.Request) (r1, r2 []seq.Read, err error) {
+func (s *Server) parsePaired(r *http.Request, asJSON bool) (r1, r2 []seq.Read, err error) {
 	max, maxLen := s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen
-	if isJSON(r) {
+	if asJSON {
 		count := 0
 		visitor := func(label string, dst *[]seq.Read) seq.JSONReadVisitor {
 			return func(rd seq.Read) error {
@@ -287,35 +275,35 @@ func (s *Server) parsePaired(r *http.Request) (r1, r2 []seq.Read, err error) {
 
 // rejectParse writes the response for a body that could not be accepted,
 // distinguishing size-policy rejections (413) from malformed input (400).
-func (s *Server) rejectParse(w http.ResponseWriter, err error) {
+func (s *Server) rejectParse(w http.ResponseWriter, r *http.Request, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
 		s.met.rejectedLarge.Add(1)
-		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-			http.StatusRequestEntityTooLarge)
+		s.apiError(w, r, http.StatusRequestEntityTooLarge, codeTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 		return
 	}
 	if errors.Is(err, errReadTooLong) || errors.Is(err, errTooManyReads) {
 		s.met.rejectedLarge.Add(1)
-		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		s.apiError(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, err.Error())
 		return
 	}
 	s.met.badRequests.Add(1)
-	http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+	s.apiError(w, r, http.StatusBadRequest, codeBadRequest, err.Error())
 }
 
 // admit runs the admission checks for n reads, writing the rejection
 // response itself when the request cannot proceed.
-func (s *Server) admit(w http.ResponseWriter, n int) bool {
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, n int) bool {
 	if n == 0 {
 		s.met.badRequests.Add(1)
-		http.Error(w, "no reads in request", http.StatusBadRequest)
+		s.apiError(w, r, http.StatusBadRequest, codeBadRequest, "no reads in request")
 		return false
 	}
 	if n > s.cfg.MaxReadsPerRequest {
 		s.met.rejectedLarge.Add(1)
-		http.Error(w, fmt.Sprintf("request holds %d reads, limit %d", n, s.cfg.MaxReadsPerRequest),
-			http.StatusRequestEntityTooLarge)
+		s.apiError(w, r, http.StatusRequestEntityTooLarge, codeTooLarge,
+			fmt.Sprintf("request holds %d reads, limit %d", n, s.cfg.MaxReadsPerRequest))
 		return false
 	}
 	switch err := s.adm.TryAcquire(n); err {
@@ -323,13 +311,14 @@ func (s *Server) admit(w http.ResponseWriter, n int) bool {
 		return true
 	case errDraining:
 		s.met.rejectedDrain.Add(1)
-		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		s.apiError(w, r, http.StatusServiceUnavailable, codeDraining, "server is shutting down")
 		return false
 	default: // errQueueFull
 		s.met.rejectedFull.Add(1)
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, fmt.Sprintf("admission queue full (%d reads in flight, limit %d)",
-			s.adm.InFlight(), s.cfg.MaxInFlightReads), http.StatusTooManyRequests)
+		s.apiError(w, r, http.StatusTooManyRequests, codeOverloaded,
+			fmt.Sprintf("admission queue full (%d reads in flight, limit %d)",
+				s.adm.InFlight(), s.cfg.MaxInFlightReads))
 		return false
 	}
 }
@@ -340,7 +329,7 @@ func (s *Server) admit(w http.ResponseWriter, n int) bool {
 // streamer's record count to reads (1 single-end, 2 paired) so dropped
 // work is metered in the same unit admission charges. The streamed bytes
 // (header included) are counted into samBytes either way.
-func (s *Server) finishStream(w http.ResponseWriter, st *samStreamer, readsPerRecord int, err error) {
+func (s *Server) finishStream(w http.ResponseWriter, r *http.Request, st *samStreamer, readsPerRecord int, err error) {
 	st.CloseAndWait()
 	defer s.met.samBytes.Add(st.Written())
 	switch {
@@ -348,37 +337,53 @@ func (s *Server) finishStream(w http.ResponseWriter, st *samStreamer, readsPerRe
 		st.EnsureHeader()
 	case errors.Is(err, errDraining):
 		s.met.rejectedDrain.Add(1)
-		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		s.apiError(w, r, http.StatusServiceUnavailable, codeDraining, "server is shutting down")
 	default:
 		// The request's context ended: client disconnect or deadline. Any
 		// not-yet-started work was dropped; if nothing was written yet a
-		// deadline can still be reported, otherwise the stream just ends.
+		// deadline can still be reported (the envelope), otherwise the
+		// response is truncated and the connection must be aborted — a
+		// chunked response that just ends would look like a complete SAM
+		// document to the client.
+		dropped := int64(readsPerRecord) * int64(st.Missing())
 		s.met.requestsCancelled.Add(1)
-		s.met.readsDropped.Add(int64(readsPerRecord) * int64(st.Missing()))
-		if !st.Started() && errors.Is(err, context.DeadlineExceeded) {
-			http.Error(w, "request deadline exceeded before alignment completed",
-				http.StatusGatewayTimeout)
+		s.met.readsDropped.Add(dropped)
+		s.logf("request %s cancelled (%v): %d reads dropped, %d bytes streamed",
+			requestID(r.Context()), err, dropped, st.Written())
+		if !st.Started() {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.apiError(w, r, http.StatusGatewayTimeout, codeDeadlineExceeded,
+					"request deadline exceeded before alignment completed")
+			}
+		} else if st.Missing() > 0 {
+			// Status already committed mid-stream: abort the connection so
+			// the client observes an error instead of a clean EOF on an
+			// incomplete record set. net/http recovers this sentinel and
+			// resets the connection without logging a stack.
+			panic(http.ErrAbortHandler)
 		}
 	}
 }
 
-// handleAlign serves POST /align: single-end reads in (FASTQ or JSON), SAM
-// out, streamed — response chunks leave as coalesced batches complete, in
-// input order, while later reads are still being aligned. Concurrent
-// requests are coalesced into shared batches.
+// handleAlign serves POST /v1/align (alias /align): single-end reads in
+// (FASTQ or JSON), SAM out, streamed — response chunks leave as coalesced
+// batches complete, in input order, while later reads are still being
+// aligned. Concurrent requests are coalesced into shared batches. The
+// method check happens in the route wrapper (api.go).
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
+	asJSON, err := alignBodyKind(r)
+	if err != nil {
 		s.met.badRequests.Add(1)
-		http.Error(w, "method not allowed (POST FASTQ or JSON)", http.StatusMethodNotAllowed)
+		s.apiError(w, r, http.StatusUnsupportedMediaType, codeUnsupportedMedia, err.Error())
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
-	reads, err := s.parseSingle(r)
+	reads, err := s.parseSingle(r, asJSON)
 	if err != nil {
-		s.rejectParse(w, err)
+		s.rejectParse(w, r, err)
 		return
 	}
-	if !s.admit(w, len(reads)) {
+	if !s.admit(w, r, len(reads)) {
 		return
 	}
 	defer s.adm.Release(len(reads))
@@ -398,11 +403,12 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	} else {
 		err = s.coal.Align(ctx, reads, st.Complete)
 	}
-	s.finishStream(w, st, 1, err)
+	s.finishStream(w, r, st, 1, err)
 }
 
-// handleAlignPaired serves POST /align/paired: pairs in (interleaved FASTQ
-// or JSON reads1/reads2), paired SAM out, streamed per pair as the pairing
+// handleAlignPaired serves POST /v1/align/paired (alias /align/paired):
+// pairs in (interleaved FASTQ or JSON reads1/reads2), paired SAM out,
+// streamed per pair as the pairing
 // stage completes. Each request is one paired-run unit — insert-size
 // statistics come from this request's pairs alone — but its batches share
 // the worker pool with everything else in flight, and a cancelled
@@ -411,18 +417,19 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 // are cross-read state, so a pair's records are not a pure function of one
 // read's sequence.
 func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
+	asJSON, err := alignBodyKind(r)
+	if err != nil {
 		s.met.badRequests.Add(1)
-		http.Error(w, "method not allowed (POST FASTQ or JSON)", http.StatusMethodNotAllowed)
+		s.apiError(w, r, http.StatusUnsupportedMediaType, codeUnsupportedMedia, err.Error())
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
-	r1, r2, err := s.parsePaired(r)
+	r1, r2, err := s.parsePaired(r, asJSON)
 	if err != nil {
-		s.rejectParse(w, err)
+		s.rejectParse(w, r, err)
 		return
 	}
-	if !s.admit(w, len(r1)+len(r2)) {
+	if !s.admit(w, r, len(r1)+len(r2)) {
 		return
 	}
 	defer s.adm.Release(len(r1) + len(r2))
@@ -435,5 +442,5 @@ func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
 	st := newSAMStreamer(w, s.responseHeader(r), len(r1))
 	_, err = pipeline.RunPairedStreamOn(ctx, s.sched, r1, r2,
 		pipeline.Config{BatchSize: s.cfg.BatchSize}, st.Complete)
-	s.finishStream(w, st, 2, err)
+	s.finishStream(w, r, st, 2, err)
 }

@@ -32,12 +32,9 @@ func newMetrics() *metrics {
 	return &metrics{start: time.Now()}
 }
 
-// handleMetrics serves the Prometheus text exposition.
+// handleMetrics serves GET /v1/metrics (alias /metrics), the Prometheus
+// text exposition. The method check happens in the route wrapper (api.go).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	m := s.met
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "bwaserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -85,13 +82,10 @@ func boolGauge(b bool) int {
 	return 0
 }
 
-// handleHealthz reports liveness plus the numbers an orchestrator's probe
-// or a human wants at a glance.
+// handleHealthz serves GET /v1/healthz (alias /healthz): liveness plus the
+// numbers an orchestrator's probe or a human wants at a glance. The method
+// check happens in the route wrapper (api.go).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	status := "ok"
 	code := http.StatusOK
 	if s.draining() {

@@ -23,15 +23,17 @@
 // the request's admission budget is released as soon as its already-running
 // batches finish.
 //
-// Endpoints:
+// Endpoints (canonical /v1 paths; the unversioned originals are permanent
+// aliases — see api.go for the wire contract):
 //
-//	POST /align          single-end reads (raw FASTQ, or JSON {"reads":[...]})
-//	POST /align/paired   pairs (interleaved FASTQ, or JSON {"reads1":[...],"reads2":[...]})
-//	GET  /healthz        liveness + load summary (JSON)
-//	GET  /metrics        Prometheus text: request counters + per-stage kernel seconds
+//	POST /v1/align          single-end reads (raw FASTQ, or JSON {"reads":[...]})
+//	POST /v1/align/paired   pairs (interleaved FASTQ, or JSON {"reads1":[...],"reads2":[...]})
+//	GET  /v1/healthz        liveness + load summary (JSON)
+//	GET  /v1/metrics        Prometheus text: request counters + per-stage kernel seconds
 //
 // SAM responses include the @SQ/@PG header by default; ?header=0 returns
-// records only.
+// records only. Every response carries X-Request-Id, and every error
+// response is a typed JSON envelope {"code","message","request_id"}.
 //
 // # Concurrency contract
 //
@@ -77,6 +79,7 @@ type Server struct {
 	mux         *http.ServeMux
 	idxInfo     IndexInfo // how the index was loaded; set before serving
 
+	logFn     atomic.Pointer[func(format string, args ...any)]
 	drainFlag atomic.Bool
 	closed    atomic.Bool
 }
@@ -109,10 +112,7 @@ func New(aln *core.Aligner, cfg core.ServerConfig) (*Server, error) {
 		s.optFP = aln.Opts.Fingerprint(aln.Mode)
 		s.renderSlots = make(chan struct{}, 4*cfg.Threads)
 	}
-	s.mux.HandleFunc("/align", s.handleAlign)
-	s.mux.HandleFunc("/align/paired", s.handleAlignPaired)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.registerRoutes()
 	return s, nil
 }
 

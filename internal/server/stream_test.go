@@ -145,6 +145,45 @@ func TestCancelledRequestReleasesBudget(t *testing.T) {
 	}
 }
 
+// TestMidStreamDeadlineAbortsConnection: once a response has started
+// streaming, a deadline that truncates it must abort the connection —
+// a chunked response that simply ends would read as a complete SAM
+// document at the client. Three legitimate outcomes: 504 envelope
+// (deadline before the first byte), every record delivered (fast
+// machine), or a transport error on read. A clean EOF with records
+// missing is the bug.
+func TestMidStreamDeadlineAbortsConnection(t *testing.T) {
+	cfg := testConfig()
+	cfg.Threads = 1
+	cfg.BatchSize = 8
+	cfg.RequestTimeout = 80 * time.Millisecond
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	_, reads, _, _ := setup(t)
+
+	big := make([]seq.Read, 0, 20*len(reads))
+	for i := 0; i < 20; i++ {
+		big = append(big, reads...)
+	}
+	resp, err := http.Post(ts.URL+"/align?header=0", "text/plain", fastqBody(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGatewayTimeout {
+		return // deadline fired before the first byte: envelope path
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	records := bytes.Count(body, []byte{'\n'})
+	if records < len(big) && readErr == nil {
+		t.Fatalf("truncated stream (%d/%d records) ended as a clean EOF", records, len(big))
+	}
+}
+
 // TestRequestTimeoutCancelsAlignment exercises the server-imposed deadline:
 // a request parked in the coalescer past RequestTimeout is abandoned and
 // reported as 504 (nothing had been written yet).

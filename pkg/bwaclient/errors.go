@@ -1,0 +1,88 @@
+package bwaclient
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+)
+
+// Error codes of the /v1 wire contract, as carried in APIError.Code.
+// These mirror the server's list exactly (a test cross-checks the two).
+const (
+	CodeBadRequest           = "bad_request"            // 400: malformed body or read
+	CodeTooLarge             = "too_large"              // 413: body/read-count/read-length policy
+	CodeMethodNotAllowed     = "method_not_allowed"     // 405
+	CodeUnsupportedMediaType = "unsupported_media_type" // 415
+	CodeOverloaded           = "overloaded"             // 429: admission budget exhausted
+	CodeDraining             = "draining"               // 503: graceful shutdown in progress
+	CodeDeadlineExceeded     = "deadline_exceeded"      // 504: request deadline hit before output
+	CodeNotFound             = "not_found"              // 404: unknown route
+)
+
+// APIError is a non-2xx response from the server. When the server sent
+// its typed JSON envelope, Code/Message/RequestID carry it; responses
+// from intermediaries (proxies, load balancers) that bypass the server
+// yield an APIError with an empty Code and the raw body as Message.
+type APIError struct {
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// Code is the machine-readable error code (the Code* constants), or
+	// "" when the response carried no envelope.
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+	// RequestID identifies the request in the server's logs.
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.StatusCode)
+	}
+	if e.Code != "" {
+		msg = e.Code + ": " + msg
+	}
+	if e.RequestID != "" {
+		return fmt.Sprintf("bwaclient: %d %s (request %s)", e.StatusCode, msg, e.RequestID)
+	}
+	return fmt.Sprintf("bwaclient: %d %s", e.StatusCode, msg)
+}
+
+// IsOverloaded reports whether err is the server shedding load (429) —
+// the one condition where backing off and retrying is the right response.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, consuming
+// and closing the body. The JSON envelope is parsed when present;
+// anything else (legacy plain text, proxy pages) becomes the message
+// verbatim, trimmed.
+func decodeAPIError(resp *http.Response) *APIError {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	ae := &APIError{StatusCode: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
+	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err == nil &&
+		(mt == "application/json" || strings.HasSuffix(mt, "+json")) {
+		var env struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
+		}
+		if json.Unmarshal(body, &env) == nil && env.Code != "" {
+			ae.Code, ae.Message = env.Code, env.Message
+			if env.RequestID != "" {
+				ae.RequestID = env.RequestID
+			}
+			return ae
+		}
+	}
+	ae.Message = strings.TrimSpace(string(body))
+	return ae
+}

@@ -1,0 +1,84 @@
+package bwaclient_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+
+	"repro/pkg/bwaclient"
+	"repro/pkg/bwamem"
+)
+
+// A full client round trip against an in-process server: align reads over
+// HTTP, stream the records back, check the server's health, and see a
+// typed error. Against a running bwaserve, only the base URL changes.
+func ExampleClient() {
+	// An in-process server stands in for a remote bwaserve.
+	idx, err := bwamem.Synthetic(50_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aln, err := bwamem.New(idx, bwamem.WithThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := bwamem.NewServer(aln, bwamem.DefaultServerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := bwaclient.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream an alignment: records arrive while the server is still
+	// working on later reads.
+	reads, err := idx.SimulateReads(50, 100, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientReads := make([]bwaclient.Read, len(reads))
+	for i, r := range reads {
+		clientReads[i] = bwaclient.Read(r)
+	}
+	st, err := c.Align(context.Background(), clientReads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := 0
+	for st.Next() {
+		if fields := strings.Split(st.Text(), "\t"); len(fields) >= 11 {
+			records++
+		}
+	}
+	if err := st.Err(); err != nil {
+		log.Fatal(err)
+	}
+	st.Close()
+	fmt.Printf("streamed %d records\n", records)
+
+	// Health is a typed report.
+	h, err := c.Health(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server %s over %d contig(s)\n", h.Status, h.Contigs)
+
+	// Errors carry the server's machine-readable code and request ID.
+	_, err = c.Align(context.Background(), []bwaclient.Read{{Name: "bad", Seq: nil}})
+	var ae *bwaclient.APIError
+	if errors.As(err, &ae) {
+		fmt.Printf("rejected: HTTP %d %s\n", ae.StatusCode, ae.Code)
+	}
+	// Output:
+	// streamed 50 records
+	// server ok over 1 contig(s)
+	// rejected: HTTP 400 bad_request
+}

@@ -1,0 +1,80 @@
+package bwaclient
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+)
+
+// maxSAMRecord bounds one SAM line the stream will buffer: generous for
+// long reads (a 64 kb read's record is a few hundred KB with tags) while
+// still refusing a response that never produces a newline.
+const maxSAMRecord = 64 << 20
+
+// SAMStream is a streaming SAM response: records become available as the
+// server finishes aligning them, so the first record of a large request
+// can be consumed while most of it is still queued. Iterate with Next and
+// Record, then check Err; Close releases the connection (mandatory if the
+// stream is abandoned early). Not safe for concurrent use.
+type SAMStream struct {
+	body      io.ReadCloser
+	sc        *bufio.Scanner
+	requestID string
+	err       error
+	closed    bool
+}
+
+func newSAMStream(resp *http.Response) *SAMStream {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxSAMRecord)
+	return &SAMStream{body: resp.Body, sc: sc, requestID: resp.Header.Get("X-Request-Id")}
+}
+
+// Next advances to the next SAM line, reporting whether one is available.
+// With WithSAMHeader the header's @-lines arrive first, as lines of the
+// same stream.
+func (s *SAMStream) Next() bool {
+	if s.err != nil || s.closed {
+		return false
+	}
+	if s.sc.Scan() {
+		return true
+	}
+	s.err = s.sc.Err()
+	return false
+}
+
+// Record returns the current SAM line without its trailing newline. The
+// slice is only valid until the next call to Next.
+func (s *SAMStream) Record() []byte { return s.sc.Bytes() }
+
+// Text returns the current SAM line as a string.
+func (s *SAMStream) Text() string { return s.sc.Text() }
+
+// Err returns the first error encountered while streaming (nil at a clean
+// end of response). A response truncated by a mid-stream cancellation or
+// deadline on the server aborts the connection (the server never ends an
+// incomplete stream cleanly), so truncation surfaces here as a transport
+// error rather than a silent short record set.
+func (s *SAMStream) Err() error { return s.err }
+
+// RequestID returns the X-Request-Id the server assigned this response.
+func (s *SAMStream) RequestID() string { return s.requestID }
+
+// Close releases the underlying connection. It is safe to call more than
+// once and after the stream is exhausted.
+func (s *SAMStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.body.Close()
+}
+
+// readAll drains the raw remaining body — the buffered convenience behind
+// AlignSAM, kept byte-identical to what the server sent (no line
+// re-assembly). Must be called before any Next.
+func (s *SAMStream) readAll() ([]byte, error) {
+	defer s.Close()
+	return io.ReadAll(s.body)
+}

@@ -1,0 +1,182 @@
+package bwamem
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the API-surface golden file")
+
+// TestAPISurfaceGolden locks the public contract: every exported
+// identifier of pkg/bwamem and pkg/bwaclient (with full signatures and
+// type definitions) and the server's /v1 route table must match
+// testdata/api.golden. A deliberate API change regenerates the file with
+//
+//	go test ./pkg/bwamem -run APISurface -update
+//
+// so the diff shows up in review; an accidental one fails here first.
+func TestAPISurfaceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("# Public API surface. Regenerate: go test ./pkg/bwamem -run APISurface -update\n")
+	for _, pkg := range []struct{ name, dir string }{
+		{"bwamem", "."},
+		{"bwaclient", "../bwaclient"},
+	} {
+		decls, err := exportedDecls(pkg.dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "\n[package %s]\n", pkg.name)
+		for _, d := range decls {
+			buf.WriteString(d)
+			buf.WriteByte('\n')
+		}
+	}
+	buf.WriteString("\n[wire routes]\n")
+	for _, r := range server.Routes() {
+		buf.WriteString(r)
+		buf.WriteByte('\n')
+	}
+
+	const goldenPath = "testdata/api.golden"
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("public API surface or /v1 route table changed.\n"+
+			"If intentional, regenerate with: go test ./pkg/bwamem -run APISurface -update\n\n--- got ---\n%s\n--- want ---\n%s",
+			buf.String(), want)
+	}
+}
+
+// exportedDecls renders every exported top-level declaration of the
+// package in dir, sorted: full signatures for funcs and methods, full
+// definitions for types, names for consts and vars.
+func exportedDecls(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	render := func(node any) string {
+		var b bytes.Buffer
+		if err := (&printer.Config{Mode: printer.RawFormat}).Fprint(&b, fset, node); err != nil {
+			return fmt.Sprintf("<print error: %v>", err)
+		}
+		// Collapse whitespace so formatting churn can't move the golden.
+		return strings.Join(strings.Fields(b.String()), " ")
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					recv := ""
+					if d.Recv != nil && len(d.Recv.List) > 0 {
+						rt := render(d.Recv.List[0].Type)
+						if !ast.IsExported(strings.TrimPrefix(rt, "*")) {
+							continue
+						}
+						recv = "(" + rt + ") "
+					}
+					sig := strings.TrimPrefix(render(d.Type), "func")
+					out = append(out, "func "+recv+d.Name.Name+sig)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							if sp.Name.IsExported() {
+								stripUnexportedFields(sp.Type)
+								out = append(out, "type "+sp.Name.Name+" "+render(sp.Type))
+							}
+						case *ast.ValueSpec:
+							for _, name := range sp.Names {
+								if name.IsExported() {
+									kind := "const"
+									if d.Tok == token.VAR {
+										kind = "var"
+									}
+									out = append(out, kind+" "+name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// stripUnexportedFields removes unexported struct fields from a parsed
+// type in place, so the golden locks only the exported contract — a
+// private field rename must not read as a public API change.
+func stripUnexportedFields(t ast.Expr) {
+	st, ok := t.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	var kept []*ast.Field
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 { // embedded field: keep when exported
+			if ast.IsExported(strings.TrimPrefix(embeddedName(f.Type), "*")) {
+				kept = append(kept, f)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			f.Names = names
+			kept = append(kept, f)
+		}
+	}
+	st.Fields.List = kept
+}
+
+// embeddedName resolves the type name of an embedded field.
+func embeddedName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

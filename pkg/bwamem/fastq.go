@@ -1,0 +1,23 @@
+package bwamem
+
+import (
+	"io"
+
+	"repro/internal/seq"
+)
+
+// ReadFastq decodes all 4-line FASTQ records from r.
+func ReadFastq(r io.Reader) ([]Read, error) {
+	reads, err := seq.ReadFastq(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromSeqReads(reads), nil
+}
+
+// WriteFastq encodes reads as 4-line FASTQ records. Reads without
+// qualities are written with a constant 'I' (Q40) quality string, as FASTQ
+// requires one.
+func WriteFastq(w io.Writer, reads []Read) error {
+	return seq.WriteFastq(w, toSeqReads(reads))
+}

@@ -1,0 +1,150 @@
+package bwamem
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// ServerConfig tunes one deployment of the long-running alignment server.
+// Zero values resolve to the documented defaults; DefaultServerConfig is
+// the recommended starting point. The aligner implementation (mode,
+// scoring) comes from the Aligner handed to NewServer, not from here.
+type ServerConfig struct {
+	// Threads is the worker-pool size the server schedules batches over.
+	// 0 means runtime.NumCPU.
+	Threads int
+	// BatchSize is the reads-per-batch target of the batch-staged pipeline
+	// and of cross-request coalescing. 0 means 512.
+	BatchSize int
+
+	// MaxInFlightReads caps the reads admitted (queued or executing)
+	// across all requests; a request that would exceed it is rejected with
+	// 429. 0 means 65536.
+	MaxInFlightReads int
+	// MaxReadsPerRequest caps a single request's read count (413 beyond).
+	// 0 means MaxInFlightReads.
+	MaxReadsPerRequest int
+	// MaxReadLen caps a single read's length in bases (413 beyond).
+	// 0 means 65536.
+	MaxReadLen int
+
+	// CoalesceLinger is how long a partial batch waits for reads from
+	// other requests before being flushed to the pool. 0 means 500µs;
+	// negative disables lingering.
+	CoalesceLinger time.Duration
+	// RequestTimeout bounds one request's alignment work; when it (or the
+	// client's disconnect) ends the request context, unstarted batches are
+	// dropped. 0 means no server-imposed deadline.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown's wait for in-flight requests.
+	// 0 means 30s.
+	DrainTimeout time.Duration
+
+	// CacheEnabled turns on the sharded single-end result cache: duplicate
+	// read sequences are served from cached alignment regions, re-rendered
+	// per read so output stays byte-identical. Paired requests bypass it.
+	CacheEnabled bool
+	// CacheBytes is the result cache's total capacity. 0 means 256 MiB.
+	CacheBytes int64
+	// CacheShards is the cache's lock-striping width, rounded up to a
+	// power of two. 0 means 64.
+	CacheShards int
+}
+
+// DefaultServerConfig returns the deployment defaults (result cache on,
+// NumCPU workers resolved at server start).
+func DefaultServerConfig() ServerConfig {
+	return fromCoreServerConfig(core.DefaultServerConfig())
+}
+
+func (c ServerConfig) toCore(mode core.Mode) core.ServerConfig {
+	return core.ServerConfig{
+		Threads:            c.Threads,
+		BatchSize:          c.BatchSize,
+		Mode:               mode,
+		MaxInFlightReads:   c.MaxInFlightReads,
+		MaxReadsPerRequest: c.MaxReadsPerRequest,
+		MaxReadLen:         c.MaxReadLen,
+		CoalesceLinger:     c.CoalesceLinger,
+		RequestTimeout:     c.RequestTimeout,
+		DrainTimeout:       c.DrainTimeout,
+		CacheEnabled:       c.CacheEnabled,
+		CacheBytes:         c.CacheBytes,
+		CacheShards:        c.CacheShards,
+	}
+}
+
+func fromCoreServerConfig(c core.ServerConfig) ServerConfig {
+	return ServerConfig{
+		Threads:            c.Threads,
+		BatchSize:          c.BatchSize,
+		MaxInFlightReads:   c.MaxInFlightReads,
+		MaxReadsPerRequest: c.MaxReadsPerRequest,
+		MaxReadLen:         c.MaxReadLen,
+		CoalesceLinger:     c.CoalesceLinger,
+		RequestTimeout:     c.RequestTimeout,
+		DrainTimeout:       c.DrainTimeout,
+		CacheEnabled:       c.CacheEnabled,
+		CacheBytes:         c.CacheBytes,
+		CacheShards:        c.CacheShards,
+	}
+}
+
+// Server is the long-lived alignment service over one resident index,
+// speaking the versioned /v1 HTTP API (plus the unversioned legacy
+// aliases): POST /v1/align, POST /v1/align/paired, GET /v1/healthz,
+// GET /v1/metrics. Every response carries X-Request-Id and every error is
+// a typed JSON envelope {"code","message","request_id"}; pkg/bwaclient is
+// the matching client. Construct with NewServer, expose via Handler or
+// ServeHTTP, stop with Shutdown (graceful drain) or Close.
+type Server struct {
+	srv *server.Server
+}
+
+// NewServer wraps a's index and implementation in the alignment service.
+// The server schedules its own worker pool (cfg.Threads); it shares a's
+// index and options but not the pool a's direct Align calls use, so
+// embedding both in one process is safe.
+func NewServer(a *Aligner, cfg ServerConfig) (*Server, error) {
+	srv, err := server.New(a.core, cfg.toCore(a.core.Mode))
+	if err != nil {
+		return nil, err
+	}
+	info := a.idx.info
+	if info.ResidentBytes == 0 {
+		info.ResidentBytes = a.core.IndexFootprint()
+	}
+	srv.SetIndexInfo(server.IndexInfo(info))
+	return &Server{srv: srv}, nil
+}
+
+// Config returns the resolved deployment configuration.
+func (s *Server) Config() ServerConfig {
+	return fromCoreServerConfig(s.srv.Config())
+}
+
+// Handler returns the HTTP entry point (also available as s itself).
+func (s *Server) Handler() http.Handler { return s.srv.Handler() }
+
+// ServeHTTP makes Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.srv.ServeHTTP(w, r)
+}
+
+// SetLogf installs a request-plane logger (cancellations and deadline
+// expiries are reported through it with their request IDs). nil disables
+// logging, the default. Safe to call concurrently with serving.
+func (s *Server) SetLogf(logf func(format string, args ...any)) { s.srv.SetLogf(logf) }
+
+// Shutdown drains gracefully: new work is rejected with 503 while
+// admitted requests run to completion, then the worker pool stops. If
+// in-flight work outlives ctx's deadline (or DrainTimeout when ctx has
+// none) an error is returned and Shutdown may be called again.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close is Shutdown with the configured drain timeout.
+func (s *Server) Close() error { return s.srv.Close() }
