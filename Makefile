@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race serve demo bench clean
+.PHONY: build test vet race serve demo bench bench-record clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/server/ ./internal/pipeline/ ./internal/seq/ ./internal/rescache/ ./internal/core/ ./pkg/...
+	$(GO) test -race ./internal/server/ ./internal/pipeline/ ./internal/seq/ ./internal/rescache/ ./internal/core/ ./internal/obs/ ./pkg/...
 
 serve: ## run the alignment server on a synthetic genome
 	$(GO) run ./cmd/bwaserve -addr :8080 -synthetic 200000
@@ -22,6 +22,9 @@ demo: ## in-process client/server round trip
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+bench-record: ## regenerate the committed kernel benchmark record
+	$(GO) run ./cmd/kernelbench -json > BENCH_kernels.json
 
 clean:
 	$(GO) clean ./...

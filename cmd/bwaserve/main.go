@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +65,9 @@ func main() {
 	cacheBytes := fs.Int64("cache-bytes", 0, "result-cache capacity in bytes (0 = 256 MiB)")
 	cacheShards := fs.Int("cache-shards", 0, "result-cache shard count, rounded up to a power of two (0 = 64)")
 	drain := fs.Duration("drain", 0, "graceful-shutdown drain timeout (0 = 30s)")
+	logFormat := fs.String("log-format", "json", "structured request-log format: json or text")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+	debugRequests := fs.Int("debug-requests", 0, "trace-ring size for GET /v1/debug/requests (0 disables the endpoint)")
 	indexMmap := fs.Bool("index-mmap", false, "mmap the v2 .bwago index read-only instead of heap-loading it (many server processes share one page-cached copy)")
 	synthetic := fs.Int("synthetic", 0, "serve a synthetic genome of this many bp instead of a reference file")
 	seed := fs.Int64("seed", 42, "seed for -synthetic")
@@ -99,6 +103,7 @@ func main() {
 	cfg.CacheEnabled = *cache
 	cfg.CacheBytes = *cacheBytes
 	cfg.CacheShards = *cacheShards
+	cfg.DebugRequestTraces = *debugRequests
 	srv, err := bwamem.NewServer(aln, cfg)
 	if err != nil {
 		die(err)
@@ -106,6 +111,19 @@ func main() {
 	srv.SetLogf(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "[bwaserve] "+format+"\n", args...)
 	})
+	if err := srv.SetLogOutput(os.Stderr, *logFormat); err != nil {
+		die(err)
+	}
+	if *debugAddr != "" {
+		// net/http/pprof registers on DefaultServeMux; serve it on its own
+		// listener so profiling never shares a port with the alignment API.
+		go func() {
+			fmt.Fprintf(os.Stderr, "[bwaserve] pprof listening on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "[bwaserve] pprof:", err)
+			}
+		}()
+	}
 	info := idx.Info()
 	fmt.Fprintf(os.Stderr, "[bwaserve] index resident: %d contigs, %d bp (%s, loaded in %v); %d workers, batch %d, %s mode\n",
 		len(idx.Contigs()), idx.ReferenceLength(), info.Source,

@@ -164,6 +164,13 @@ type ServerConfig struct {
 	// DrainTimeout bounds graceful shutdown's wait for in-flight requests.
 	// <= 0 means 30s.
 	DrainTimeout time.Duration
+
+	// DebugRequestTraces sizes the per-request trace ring served by
+	// GET /v1/debug/requests (the N most recent and N slowest request
+	// timelines). 0, the default, disables the endpoint (it answers 404):
+	// traces carry request IDs and routes, so retaining them is an explicit
+	// deployment choice, not a default.
+	DebugRequestTraces int
 }
 
 // Deployment defaults (shared by the server config and the pipeline's
@@ -227,6 +234,9 @@ func (c *ServerConfig) Normalize(numCPU int) error {
 	}
 	if c.CacheShards <= 0 {
 		c.CacheShards = DefaultCacheShards
+	}
+	if c.DebugRequestTraces < 0 {
+		c.DebugRequestTraces = 0
 	}
 	if c.Mode != ModeBaseline && c.Mode != ModeOptimized {
 		return fmt.Errorf("core: unknown server mode %d", c.Mode)

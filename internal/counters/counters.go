@@ -31,6 +31,17 @@ func (s Stage) String() string {
 	return stageNames[s]
 }
 
+// Stages returns every stage in order, for callers that keep per-stage
+// state (one histogram per stage, one table row per stage) without
+// hard-coding the enum.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
 // StageClock accumulates time per stage. Use one per worker goroutine and
 // Merge afterwards; individual clocks are not synchronized.
 type StageClock struct {

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: log2 buckets from 1µs up. Bucket i covers
+// durations in (bound[i-1], bound[i]] with bound[i] = 1µs << i, so 28
+// buckets reach ~134s — wider than any request the server would let live —
+// and everything beyond lands in +Inf. Powers of two keep Observe at a
+// handful of instructions (one bits.Len64) while giving Prometheus
+// histogram_quantile ~2x-resolution buckets across nine decades.
+const (
+	histMinNanos = int64(time.Microsecond)
+	histBuckets  = 28
+)
+
+// bucketBounds holds the precomputed upper bounds, rendered once for the
+// exposition format ("1e-06", "0.001024", ...).
+var bucketBounds = func() [histBuckets]string {
+	var b [histBuckets]string
+	for i := range b {
+		secs := time.Duration(histMinNanos << i).Seconds()
+		b[i] = strconv.FormatFloat(secs, 'g', -1, 64)
+	}
+	return b
+}()
+
+// Histogram is a concurrency-safe log-bucketed latency histogram. Observe
+// and the read side (Write, Quantile, Count, Sum) may race freely; a
+// concurrent reader sees each observation's count and sum independently
+// (no torn buckets, but a snapshot is not a point-in-time cut — fine for
+// metrics). The zero value is ready to use; a nil *Histogram ignores
+// observations, so callers can instrument unconditionally.
+type Histogram struct {
+	buckets  [histBuckets]atomic.Int64 // per-bucket counts (non-cumulative)
+	overflow atomic.Int64              // observations beyond the last bound
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// bucketOf maps a duration in nanoseconds to its bucket index, or
+// histBuckets for the overflow (+Inf-only) range.
+func bucketOf(ns int64) int {
+	if ns <= histMinNanos {
+		return 0
+	}
+	// Smallest i with ns <= histMinNanos<<i.
+	i := bits.Len64(uint64((ns - 1) / histMinNanos))
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations count as zero (clock
+// skew between timestamps must not corrupt the distribution).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	if i := bucketOf(ns); i < histBuckets {
+		h.buckets[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the summed observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNanos.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in seconds with the
+// same piecewise-linear interpolation Prometheus's histogram_quantile
+// applies, so a test computing p99 here and a dashboard computing it from
+// the exposition agree. Returns 0 for an empty histogram; observations in
+// the overflow bucket resolve to the last finite bound (as
+// histogram_quantile does for +Inf).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			upper := time.Duration(histMinNanos << i).Seconds()
+			lower := 0.0
+			if i > 0 {
+				lower = time.Duration(histMinNanos << (i - 1)).Seconds()
+			}
+			return lower + (upper-lower)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	// Rank falls in the overflow bucket: clamp to the last finite bound.
+	return time.Duration(histMinNanos << (histBuckets - 1)).Seconds()
+}
+
+// Write emits the histogram in Prometheus text exposition format:
+// cumulative <name>_bucket series with le labels, then <name>_sum and
+// <name>_count. labels, when non-empty, is a rendered label pair list
+// (e.g. `kind="single"`) prepended to each bucket's le label and attached
+// to the sum and count series, so one family can carry several labeled
+// histograms.
+func (h *Histogram) Write(w io.Writer, name, labels string) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, bucketBounds[i], cum); err != nil {
+			return err
+		}
+	}
+	cum += h.overflow.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %.6f\n", name, suffix, h.Sum().Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.count.Load())
+	return err
+}

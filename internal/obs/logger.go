@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level grades log events.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Format selects the logger's wire format.
+type Format int8
+
+const (
+	// FormatJSON emits one JSON object per line:
+	// {"ts":"...","level":"info","msg":"request","request_id":"...",...}.
+	FormatJSON Format = iota
+	// FormatText emits "TIMESTAMP LEVEL msg key=value ..." lines, the
+	// human-first form behind bwaserve -log-format=text.
+	FormatText
+)
+
+// ParseFormat resolves a format name ("json" or "text").
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "json":
+		return FormatJSON, nil
+	case "text":
+		return FormatText, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log format %q (json or text)", s)
+}
+
+// Logger is a minimal leveled structured logger: each event is a level, a
+// message, and alternating key/value fields, rendered as JSON or text. One
+// mutex serializes writes so concurrent events never interleave bytes. A
+// nil *Logger drops everything, so call sites need no guards.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format Format
+	min    Level
+	now    func() time.Time // test seam; nil means time.Now
+}
+
+// NewLogger builds a logger writing events at or above min to w.
+func NewLogger(w io.Writer, format Format, min Level) *Logger {
+	return &Logger{w: w, format: format, min: min}
+}
+
+// Enabled reports whether events at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.min
+}
+
+// Log writes one event. kv is alternating key, value pairs; a trailing key
+// without a value gets nil. Values are rendered with %v in text mode and
+// json.Marshal in JSON mode (falling back to the %v string for
+// unmarshalable values, so logging can never fail a request).
+func (l *Logger) Log(level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	nowFn := l.now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	ts := nowFn().UTC().Format(time.RFC3339Nano)
+
+	var b []byte
+	if l.format == FormatText {
+		b = appendTextEvent(nil, ts, level, msg, kv)
+	} else {
+		b = appendJSONEvent(nil, ts, level, msg, kv)
+	}
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}
+
+// Debug, Info, Warn, and Error are Log at the named level.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+func (l *Logger) Info(msg string, kv ...any)  { l.Log(LevelInfo, msg, kv...) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.Log(LevelWarn, msg, kv...) }
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+// appendJSONEvent renders one event as a single JSON object line, keys in
+// call order (ts, level, msg first — a fixed prefix log shippers key on).
+func appendJSONEvent(b []byte, ts string, level Level, msg string, kv []any) []byte {
+	b = append(b, `{"ts":`...)
+	b = appendJSONValue(b, ts)
+	b = append(b, `,"level":`...)
+	b = appendJSONValue(b, level.String())
+	b = append(b, `,"msg":`...)
+	b = appendJSONValue(b, msg)
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		var val any
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		}
+		b = append(b, ',')
+		b = appendJSONValue(b, key)
+		b = append(b, ':')
+		b = appendJSONValue(b, val)
+	}
+	return append(b, '}', '\n')
+}
+
+// appendJSONValue marshals v, degrading to its %v string when v cannot be
+// marshaled (channels, NaN, ...): a log line must never be lost to its
+// own payload.
+func appendJSONValue(b []byte, v any) []byte {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(b, enc...)
+}
+
+// appendTextEvent renders "ts LEVEL msg key=value ...". Values containing
+// spaces are quoted so the line stays field-splittable.
+func appendTextEvent(b []byte, ts string, level Level, msg string, kv []any) []byte {
+	b = append(b, ts...)
+	b = append(b, ' ')
+	b = append(b, strings.ToUpper(level.String())...)
+	b = append(b, ' ')
+	b = append(b, msg...)
+	for i := 0; i < len(kv); i += 2 {
+		var val any
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		}
+		b = append(b, ' ')
+		b = append(b, fmt.Sprint(kv[i])...)
+		b = append(b, '=')
+		s := fmt.Sprint(val)
+		if strings.ContainsAny(s, " \t\"") {
+			s = fmt.Sprintf("%q", s)
+		}
+		b = append(b, s...)
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is the finished record of one request's timeline, as served by the
+// server's /v1/debug/requests endpoint.
+type Trace struct {
+	RequestID string    `json:"request_id"`
+	Route     string    `json:"route"`
+	Status    int       `json:"status"`
+	Reads     int       `json:"reads"`
+	BytesOut  int64     `json:"bytes_out"`
+	Start     time.Time `json:"start"`
+	Seconds   float64   `json:"seconds"` // end-to-end handler time
+	Phases    []Phase   `json:"phases"`
+}
+
+// TraceRing keeps the last N request traces plus the N slowest seen since
+// start, bounded in memory, for the flag-gated debug endpoint: "what just
+// happened" and "what ever hurt" are the two questions a tail-latency
+// investigation opens with. Safe for concurrent use.
+type TraceRing struct {
+	mu      sync.Mutex
+	cap     int
+	recent  []Trace // ring buffer, next is the write cursor
+	next    int
+	filled  bool
+	slowest []Trace // kept sorted, slowest first, len <= cap
+}
+
+// NewTraceRing sizes a ring for n traces (n <= 0 yields a 1-slot ring).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 1
+	}
+	return &TraceRing{cap: n, recent: make([]Trace, n)}
+}
+
+// Add files one finished trace.
+func (r *TraceRing) Add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent[r.next] = t
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+		r.filled = true
+	}
+	// Insert into the slowest list when it qualifies (list not yet full, or
+	// slower than the current fastest member).
+	if len(r.slowest) < r.cap {
+		r.slowest = append(r.slowest, t)
+	} else if t.Seconds > r.slowest[len(r.slowest)-1].Seconds {
+		r.slowest[len(r.slowest)-1] = t
+	} else {
+		return
+	}
+	sort.SliceStable(r.slowest, func(i, j int) bool { return r.slowest[i].Seconds > r.slowest[j].Seconds })
+}
+
+// Snapshot returns the traces most-recent-first plus the slowest-first
+// list. Both are copies; the ring keeps running.
+func (r *TraceRing) Snapshot() (recent, slowest []Trace) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = r.cap
+	}
+	recent = make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the cursor: most recent first.
+		idx := (r.next - 1 - i + r.cap) % r.cap
+		recent = append(recent, r.recent[idx])
+	}
+	slowest = make([]Trace, len(r.slowest))
+	copy(slowest, r.slowest)
+	return recent, slowest
+}
+
+// Capacity returns the ring size (0 for a nil ring).
+func (r *TraceRing) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}

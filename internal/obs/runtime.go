@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimeMetrics emits the Go runtime's health gauges in Prometheus
+// text exposition format under the given prefix: goroutine count, heap
+// usage, and GC activity — the numbers that explain a latency histogram's
+// tail when the pipeline itself is innocent (a goroutine leak, a heap
+// growing into GC pressure, long pauses).
+//
+// It calls runtime.ReadMemStats, which briefly stops the world; per
+// metrics scrape that cost is noise.
+func WriteRuntimeMetrics(w io.Writer, prefix string) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rows := []struct {
+		name  string
+		value string
+	}{
+		{"go_goroutines", fmt.Sprintf("%d", runtime.NumGoroutine())},
+		{"go_heap_alloc_bytes", fmt.Sprintf("%d", ms.HeapAlloc)},
+		{"go_heap_sys_bytes", fmt.Sprintf("%d", ms.HeapSys)},
+		{"go_heap_objects", fmt.Sprintf("%d", ms.HeapObjects)},
+		{"go_gcs_total", fmt.Sprintf("%d", ms.NumGC)},
+		{"go_gc_pause_seconds_total", fmt.Sprintf("%.6f", float64(ms.PauseTotalNs)/1e9)},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s_%s %s\n", prefix, r.name, r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

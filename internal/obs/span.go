@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase is one timed segment of a request's lifecycle, offset-stamped
+// against the span start so a timeline can be reconstructed (phases may
+// overlap: "align" spans the whole pipeline portion while "ttfb" marks the
+// first response byte inside it).
+type Phase struct {
+	Name    string  `json:"name"`
+	Offset  float64 `json:"offset_seconds"` // start of the phase, relative to span start
+	Seconds float64 `json:"seconds"`        // phase duration
+}
+
+// Span records the timeline of one request: a start instant plus named
+// phases. Methods are safe for concurrent use (the response-writer
+// goroutine stamps the first-byte phase while the handler goroutine is
+// still recording later ones). A nil *Span ignores all recording.
+type Span struct {
+	start time.Time
+
+	mu     sync.Mutex
+	phases []Phase
+}
+
+// NewSpan starts a span at now.
+func NewSpan(now time.Time) *Span {
+	return &Span{start: now}
+}
+
+// Start returns the span's start instant (zero for a nil span).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Observe records a phase that began at from and ends now.
+func (s *Span) Observe(name string, from time.Time) {
+	if s == nil {
+		return
+	}
+	s.add(name, from.Sub(s.start), time.Since(from))
+}
+
+// Mark records an instantaneous event (zero-duration phase) at now —
+// time-to-first-byte is the canonical one.
+func (s *Span) Mark(name string) {
+	if s == nil {
+		return
+	}
+	s.add(name, time.Since(s.start), 0)
+}
+
+func (s *Span) add(name string, offset, d time.Duration) {
+	if offset < 0 {
+		offset = 0
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.phases = append(s.phases, Phase{Name: name, Offset: offset.Seconds(), Seconds: d.Seconds()})
+	s.mu.Unlock()
+}
+
+// Phases returns a copy of the recorded phases in recording order.
+func (s *Span) Phases() []Phase {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Phase, len(s.phases))
+	copy(out, s.phases)
+	return out
+}
+
+// ServerTimingValue renders phases as a Server-Timing header value
+// (RFC-style "name;dur=<milliseconds>" entries, comma-separated). Instant
+// marks render their offset as the duration — for a "ttfb" mark that is
+// exactly the time to first byte.
+func ServerTimingValue(phases []Phase) string {
+	var b strings.Builder
+	for i, p := range phases {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		d := p.Seconds
+		if d == 0 {
+			d = p.Offset
+		}
+		fmt.Fprintf(&b, "%s;dur=%.3f", p.Name, d*1e3)
+	}
+	return b.String()
+}

@@ -3,10 +3,18 @@ package pipeline
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/counters"
 )
+
+// StageObserver receives the per-stage time one unit of work (a batch task)
+// spent in each kernel stage, called once per non-zero stage per task from
+// the worker that ran it. Observers must be cheap and concurrency-safe:
+// they run on the hot worker loop.
+type StageObserver func(s counters.Stage, d time.Duration)
 
 // Scheduler is the batch-staged work engine shared by the one-shot CLI
 // (Run/RunPaired build an ephemeral one per call) and the long-lived
@@ -24,6 +32,7 @@ type Scheduler struct {
 	workers sync.WaitGroup
 	async   sync.WaitGroup // outstanding Go tasks, for Drain
 	clock   counters.AtomicClock
+	stageOb atomic.Pointer[StageObserver]
 }
 
 type task struct {
@@ -64,7 +73,16 @@ func (s *Scheduler) worker() {
 			t.run(ws)
 		}
 		// Publish stage time before signalling completion so a caller that
-		// returns from Each/Drain observes its own work in Clock().
+		// returns from Each/Drain observes its own work in Clock(). The
+		// observer sees the same per-task deltas, and must run before
+		// AddDelta copies clock over flushed.
+		if ob := s.stageOb.Load(); ob != nil {
+			for i := range clock.T {
+				if d := clock.T[i] - flushed.T[i]; d != 0 {
+					(*ob)(counters.Stage(i), d)
+				}
+			}
+		}
 		s.clock.AddDelta(&clock, &flushed)
 		if t.done != nil {
 			t.done.Done()
@@ -81,6 +99,17 @@ func (s *Scheduler) Threads() int { return s.threads }
 // Clock returns a snapshot of the per-stage time accumulated by all workers
 // since the scheduler started. Safe to call concurrently with running work.
 func (s *Scheduler) Clock() counters.StageClock { return s.clock.Snapshot() }
+
+// SetStageObserver installs (or, with nil, removes) a per-task stage-time
+// observer. Safe to call concurrently with running work; tasks in flight
+// may report to either the old or the new observer.
+func (s *Scheduler) SetStageObserver(ob StageObserver) {
+	if ob == nil {
+		s.stageOb.Store(nil)
+		return
+	}
+	s.stageOb.Store(&ob)
+}
 
 // Each runs fn(ws, i) for every i in [0,n), distributed dynamically across
 // the worker pool, and blocks until all n calls complete. Multiple Each

@@ -9,6 +9,9 @@ import (
 	"mime"
 	"net/http"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the wire-contract layer of the versioned /v1 HTTP API:
@@ -70,6 +73,7 @@ var routeTable = []apiRoute{
 	{http.MethodPost, "/v1/align/paired", "/align/paired", func(s *Server) http.HandlerFunc { return s.handleAlignPaired }},
 	{http.MethodGet, "/v1/healthz", "/healthz", func(s *Server) http.HandlerFunc { return s.handleHealthz }},
 	{http.MethodGet, "/v1/metrics", "/metrics", func(s *Server) http.HandlerFunc { return s.handleMetrics }},
+	{http.MethodGet, "/v1/debug/requests", "", func(s *Server) http.HandlerFunc { return s.handleDebugRequests }},
 }
 
 // Routes lists the wire surface as "METHOD path (alias legacy)" strings,
@@ -91,7 +95,7 @@ func Routes() []string {
 // adds the catch-all 404 envelope.
 func (s *Server) registerRoutes() {
 	for _, rt := range routeTable {
-		h := s.instrument(rt.Method, rt.handler(s))
+		h := s.instrument(rt.Method, rt.Path, rt.handler(s))
 		s.mux.HandleFunc(rt.Path, h)
 		if rt.Legacy != "" {
 			s.mux.HandleFunc(rt.Legacy, h)
@@ -106,18 +110,32 @@ func (s *Server) registerRoutes() {
 }
 
 // instrument wraps a handler with the per-request wire bookkeeping: the
-// request ID (header + context) and the single-method check.
-func (s *Server) instrument(method string, next http.HandlerFunc) http.HandlerFunc {
+// request ID (header + context), the observability record (span, status
+// capture, end-of-request histogram/ring/log), and the single-method
+// check. route is the canonical path, used for kind classification and
+// logs regardless of which alias was hit.
+func (s *Server) instrument(method, route string, next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.setRequestID(w, r, func(w http.ResponseWriter, r *http.Request) {
+			info := &reqInfo{
+				id:    requestID(r.Context()),
+				route: route,
+				kind:  routeKind(route),
+				span:  obs.NewSpan(time.Now()),
+			}
+			sw := newStatusWriter(w)
+			// Deferred so the request is recorded even when finishStream
+			// aborts the connection via panic(http.ErrAbortHandler).
+			defer s.observeRequest(sw, info)
+			r = r.WithContext(context.WithValue(r.Context(), reqInfoKey, info))
 			if r.Method != method {
 				s.met.badRequests.Add(1)
-				w.Header().Set("Allow", method)
-				s.apiError(w, r, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+				sw.Header().Set("Allow", method)
+				s.apiError(sw, r, http.StatusMethodNotAllowed, codeMethodNotAllowed,
 					fmt.Sprintf("method %s not allowed (use %s)", r.Method, method))
 				return
 			}
-			next(w, r)
+			next(sw, r)
 		})
 	}
 }

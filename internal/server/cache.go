@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/internal/seq"
 )
@@ -38,7 +40,7 @@ import (
 // alignCached routes one single-end request through the result cache. It
 // blocks until every read has completed (hit, fulfilled join, or aligned
 // leader) or ctx ends, mirroring coalescer.Align's contract.
-func (s *Server) alignCached(ctx context.Context, reads []seq.Read, st *samStreamer) error {
+func (s *Server) alignCached(ctx context.Context, reads []seq.Read, st *samStreamer, span *obs.Span) error {
 	a := s.sched.Aligner()
 	rst := &reqState{}
 	var wg sync.WaitGroup
@@ -52,6 +54,7 @@ func (s *Server) alignCached(ctx context.Context, reads []seq.Read, st *samStrea
 	}
 	var hits []hit
 	var keyBuf []byte
+	tLookup := time.Now()
 	for i := range reads {
 		rd := &reads[i]
 		code := seq.Encode(rd.Seq)
@@ -72,6 +75,8 @@ func (s *Server) alignCached(ctx context.Context, reads []seq.Read, st *samStrea
 			leaders = append(leaders, s.leaderItem(rd, i, code, fl, st, rst, &wg))
 		}
 	}
+	s.hists.cacheLookup.Observe(time.Since(tLookup))
+	span.Observe("cache", tLookup)
 	err := s.coal.Enqueue(leaders)
 	if err != nil {
 		// Closed coalescer (post-drain; unreachable for admitted requests,

@@ -162,7 +162,7 @@ func TestCacheLeaderAbortRetries(t *testing.T) {
 	defer cancelA()
 	aErr := make(chan error, 1)
 	stA := newSAMStreamer(httptest.NewRecorder(), "", 1)
-	go func() { aErr <- s.alignCached(ctxA, one, stA) }()
+	go func() { aErr <- s.alignCached(ctxA, one, stA, nil) }()
 
 	waitFor := func(what string, cond func() bool) {
 		t.Helper()
@@ -181,7 +181,7 @@ func TestCacheLeaderAbortRetries(t *testing.T) {
 	recB := httptest.NewRecorder()
 	stB := newSAMStreamer(recB, "", 1)
 	bErr := make(chan error, 1)
-	go func() { bErr <- s.alignCached(context.Background(), two, stB) }()
+	go func() { bErr <- s.alignCached(context.Background(), two, stB, nil) }()
 	waitFor("B to join A's flight", func() bool { return s.cache.Stats().Coalesced == 1 })
 
 	// Cancel A: its pending leader is evicted, aborting the flight; B must

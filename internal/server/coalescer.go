@@ -49,6 +49,11 @@ type coalescer struct {
 	batch  int
 	linger time.Duration // negative: flush partial batches immediately
 
+	// onQueueWait, when non-nil, observes each read's coalescer wait
+	// (enqueue to batch start) on the batch worker. Set once at server
+	// construction, before any traffic.
+	onQueueWait func(time.Duration)
+
 	mu       sync.Mutex
 	pend     []pendRead
 	timer    *time.Timer // pending linger flush (nil = unarmed); stopped on drain/close
@@ -90,6 +95,7 @@ type pendRead struct {
 	// flight so parked duplicates can retry.
 	done func(aligned bool)
 	st   *reqState
+	enq  time.Time // when the read entered the pending queue (Enqueue stamps it)
 }
 
 func newCoalescer(sched *pipeline.Scheduler, batchSize int, linger time.Duration) *coalescer {
@@ -131,6 +137,10 @@ func (c *coalescer) Align(ctx context.Context, reads []seq.Read, emit func(i int
 func (c *coalescer) Enqueue(items []pendRead) error {
 	if len(items) == 0 {
 		return nil
+	}
+	now := time.Now()
+	for i := range items {
+		items[i].enq = now
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -285,6 +295,14 @@ func (c *coalescer) runBatch(batch []pendRead, ws *core.Workspace) {
 	}
 	if len(live) == 0 {
 		return
+	}
+	if c.onQueueWait != nil {
+		now := time.Now()
+		for i := range live {
+			if !live[i].enq.IsZero() {
+				c.onQueueWait(now.Sub(live[i].enq))
+			}
+		}
 	}
 	a := c.sched.Aligner()
 	codes := make([][]byte, len(live))

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/seq"
 )
@@ -350,6 +352,11 @@ func (s *Server) finishStream(w http.ResponseWriter, r *http.Request, st *samStr
 		s.met.readsDropped.Add(dropped)
 		s.logf("request %s cancelled (%v): %d reads dropped, %d bytes streamed",
 			requestID(r.Context()), err, dropped, st.Written())
+		if l := s.logger.Load(); l != nil {
+			l.Warn("request cancelled",
+				"request_id", requestID(r.Context()), "error", err.Error(),
+				"reads_dropped", dropped, "bytes_streamed", st.Written())
+		}
 		if !st.Started() {
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.apiError(w, r, http.StatusGatewayTimeout, codeDeadlineExceeded,
@@ -371,6 +378,7 @@ func (s *Server) finishStream(w http.ResponseWriter, r *http.Request, st *samStr
 // aligned. Concurrent requests are coalesced into shared batches. The
 // method check happens in the route wrapper (api.go).
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	span := reqInfoFrom(r).Span()
 	asJSON, err := alignBodyKind(r)
 	if err != nil {
 		s.met.badRequests.Add(1)
@@ -378,14 +386,21 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
+	tParse := time.Now()
 	reads, err := s.parseSingle(r, asJSON)
 	if err != nil {
 		s.rejectParse(w, r, err)
 		return
 	}
-	if !s.admit(w, r, len(reads)) {
+	span.Observe("parse", tParse)
+	tAdmit := time.Now()
+	admitted := s.admit(w, r, len(reads))
+	s.hists.admissionWait.Observe(time.Since(tAdmit))
+	if !admitted {
 		return
 	}
+	span.Observe("admit", tAdmit)
+	reqInfoFrom(r).setReads(len(reads))
 	defer s.adm.Release(len(reads))
 	s.met.singleRequests.Add(1)
 	s.met.readsTotal.Add(int64(len(reads)))
@@ -394,16 +409,39 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	w.Header().Set("Content-Type", "text/x-sam")
 	st := newSAMStreamer(w, s.responseHeader(r), len(reads))
+	s.armServerTiming(w, st, span)
+	tAlign := time.Now()
 	if s.cache != nil {
 		// Result cache between admission and the coalescer: duplicate
 		// sequences are served from cached regions (re-rendered with this
 		// read's name, so output is byte-identical) or single-flighted
 		// behind an identical in-flight read. See cache.go.
-		err = s.alignCached(ctx, reads, st)
+		err = s.alignCached(ctx, reads, st, span)
 	} else {
 		err = s.coal.Align(ctx, reads, st.Complete)
 	}
+	span.Observe("align", tAlign)
 	s.finishStream(w, r, st, 1, err)
+}
+
+// armServerTiming hooks the streamer's first body write: the Server-Timing
+// header must be committed before any byte goes out, so it carries the
+// phases known at that instant (parse, admit, cache classify) plus the
+// time-to-first-byte mark — the full timeline, align included, lands in
+// the histograms and the debug trace ring instead. The hook runs on the
+// request-owned writer goroutine; the handler goroutine is blocked in the
+// align call and does not touch headers until the streamer is retired, so
+// the header map is never written concurrently.
+func (s *Server) armServerTiming(w http.ResponseWriter, st *samStreamer, span *obs.Span) {
+	if span == nil {
+		return
+	}
+	hdr := w.Header()
+	st.OnFirstWrite(func() {
+		span.Mark("ttfb")
+		s.hists.ttfb.Observe(time.Since(span.Start()))
+		hdr.Set("Server-Timing", obs.ServerTimingValue(span.Phases()))
+	})
 }
 
 // handleAlignPaired serves POST /v1/align/paired (alias /align/paired):
@@ -417,6 +455,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 // are cross-read state, so a pair's records are not a pure function of one
 // read's sequence.
 func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
+	span := reqInfoFrom(r).Span()
 	asJSON, err := alignBodyKind(r)
 	if err != nil {
 		s.met.badRequests.Add(1)
@@ -424,14 +463,21 @@ func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
+	tParse := time.Now()
 	r1, r2, err := s.parsePaired(r, asJSON)
 	if err != nil {
 		s.rejectParse(w, r, err)
 		return
 	}
-	if !s.admit(w, r, len(r1)+len(r2)) {
+	span.Observe("parse", tParse)
+	tAdmit := time.Now()
+	admitted := s.admit(w, r, len(r1)+len(r2))
+	s.hists.admissionWait.Observe(time.Since(tAdmit))
+	if !admitted {
 		return
 	}
+	span.Observe("admit", tAdmit)
+	reqInfoFrom(r).setReads(len(r1) + len(r2))
 	defer s.adm.Release(len(r1) + len(r2))
 	s.met.pairedRequests.Add(1)
 	s.met.readsTotal.Add(int64(len(r1) + len(r2)))
@@ -440,7 +486,10 @@ func (s *Server) handleAlignPaired(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	w.Header().Set("Content-Type", "text/x-sam")
 	st := newSAMStreamer(w, s.responseHeader(r), len(r1))
+	s.armServerTiming(w, st, span)
+	tAlign := time.Now()
 	_, err = pipeline.RunPairedStreamOn(ctx, s.sched, r1, r2,
 		pipeline.Config{BatchSize: s.cfg.BatchSize}, st.Complete)
+	span.Observe("align", tAlign)
 	s.finishStream(w, r, st, 2, err)
 }

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // metrics aggregates the server-level counters exposed on /metrics. Stage
@@ -72,6 +74,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	clock := s.sched.Clock()
 	clock.WriteMetrics(w, "bwaserve")
+	// Latency histograms (request path, queue waits, per-stage kernel time)
+	// and Go runtime health gauges — see internal/obs and obs.go.
+	s.hists.write(w)
+	obs.WriteRuntimeMetrics(w, "bwaserve")
 }
 
 // boolGauge renders a flag as a 0/1 Prometheus gauge value.

@@ -59,6 +59,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rescache"
 )
@@ -79,7 +81,11 @@ type Server struct {
 	mux         *http.ServeMux
 	idxInfo     IndexInfo // how the index was loaded; set before serving
 
+	hists *serverHists   // latency histograms, shared by all requests (obs.go)
+	ring  *obs.TraceRing // request-trace ring for /v1/debug/requests; nil when disabled
+
 	logFn     atomic.Pointer[func(format string, args ...any)]
+	logger    atomic.Pointer[obs.Logger] // structured access/event logger; nil = off
 	drainFlag atomic.Bool
 	closed    atomic.Bool
 }
@@ -106,6 +112,18 @@ func New(aln *core.Aligner, cfg core.ServerConfig) (*Server, error) {
 		adm:       newAdmission(cfg.MaxInFlightReads),
 		met:       newMetrics(),
 		mux:       http.NewServeMux(),
+		hists:     &serverHists{},
+	}
+	// Per-task kernel stage time flows from the worker loop into the stage
+	// histograms; the scheduler's cumulative AtomicClock keeps feeding the
+	// existing bwaserve_stage_seconds counters independently.
+	sched.SetStageObserver(func(st counters.Stage, d time.Duration) {
+		s.hists.stage[st].Observe(d)
+	})
+	// Per-read coalescer queue wait (enqueue to batch start).
+	s.coal.onQueueWait = s.hists.queueWait.Observe
+	if cfg.DebugRequestTraces > 0 {
+		s.ring = obs.NewTraceRing(cfg.DebugRequestTraces)
 	}
 	if cfg.CacheEnabled {
 		s.cache = rescache.New(rescache.Config{Capacity: cfg.CacheBytes, Shards: cfg.CacheShards})

@@ -43,7 +43,8 @@ type samStreamer struct {
 	next      int // first index not yet handed to the writer
 	closed    bool
 	written   int64
-	err       error // first write error; sticky
+	err       error  // first write error; sticky
+	onFirst   func() // runs once, just before the first body write (see OnFirstWrite)
 }
 
 // newSAMStreamer builds a streamer for n records (reads or pairs) to w and
@@ -58,6 +59,17 @@ func newSAMStreamer(w http.ResponseWriter, header string, n int) *samStreamer {
 	st.wg.Add(1)
 	go st.writeLoop()
 	return st
+}
+
+// OnFirstWrite registers fn to run exactly once, immediately before the
+// first response byte goes out — the last moment response headers are
+// still mutable. It runs on the writer goroutine (or the handler
+// goroutine, for the bare-header EnsureHeader path) and must not call back
+// into the streamer. Register before any Complete call.
+func (st *samStreamer) OnFirstWrite(fn func()) {
+	st.mu.Lock()
+	st.onFirst = fn
+	st.mu.Unlock()
 }
 
 // Complete delivers record i. Safe for concurrent use from many workers;
@@ -123,7 +135,11 @@ func (st *samStreamer) writeChunk(chunk [][]byte) bool {
 	st.mu.Lock()
 	first := !st.started
 	st.started = true
+	onFirst := st.onFirst
 	st.mu.Unlock()
+	if first && onFirst != nil {
+		onFirst()
+	}
 
 	var n int64
 	var err error
@@ -181,6 +197,11 @@ func (st *samStreamer) EnsureHeader() {
 	defer st.mu.Unlock()
 	if !st.started && st.err == nil && st.header != "" {
 		st.started = true
+		if st.onFirst != nil {
+			// Safe under the lock: the hook never calls back into the
+			// streamer, and the writer goroutine has already exited.
+			st.onFirst()
+		}
 		n, err := io.WriteString(st.w, st.header)
 		st.written += int64(n)
 		st.err = err

@@ -4,6 +4,9 @@ import (
 	"bufio"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // maxSAMRecord bounds one SAM line the stream will buffer: generous for
@@ -20,6 +23,7 @@ type SAMStream struct {
 	body      io.ReadCloser
 	sc        *bufio.Scanner
 	requestID string
+	timing    []TimingEntry
 	err       error
 	closed    bool
 }
@@ -27,7 +31,52 @@ type SAMStream struct {
 func newSAMStream(resp *http.Response) *SAMStream {
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), maxSAMRecord)
-	return &SAMStream{body: resp.Body, sc: sc, requestID: resp.Header.Get("X-Request-Id")}
+	return &SAMStream{body: resp.Body, sc: sc,
+		requestID: resp.Header.Get("X-Request-Id"),
+		timing:    parseServerTiming(resp.Header.Get("Server-Timing"))}
+}
+
+// TimingEntry is one phase of the server's Server-Timing response header:
+// a name and the phase's duration.
+type TimingEntry struct {
+	Name     string
+	Duration time.Duration
+}
+
+// ServerTiming returns the server's request-phase timings (parse, admit,
+// cache classify, time to first byte) from the Server-Timing response
+// header, in header order. Nil when the server sent none. The header is
+// committed before the first response byte, so it covers the phases known
+// at that instant — the complete timeline (alignment included) is on the
+// server's metrics and debug endpoints.
+func (s *SAMStream) ServerTiming() []TimingEntry { return s.timing }
+
+// parseServerTiming decodes a Server-Timing header value: comma-separated
+// "name;dur=<milliseconds>" entries. Entries without a parseable dur
+// attribute are kept with zero duration; malformed fragments are skipped.
+func parseServerTiming(h string) []TimingEntry {
+	if h == "" {
+		return nil
+	}
+	var out []TimingEntry
+	for _, entry := range strings.Split(h, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ";")
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			continue
+		}
+		te := TimingEntry{Name: name}
+		for _, attr := range parts[1:] {
+			attr = strings.TrimSpace(attr)
+			if v, ok := strings.CutPrefix(attr, "dur="); ok {
+				if ms, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+					te.Duration = time.Duration(ms * float64(time.Millisecond))
+				}
+			}
+		}
+		out = append(out, te)
+	}
+	return out
 }
 
 // Next advances to the next SAM line, reporting whether one is available.

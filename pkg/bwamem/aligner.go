@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/counters"
@@ -93,6 +94,64 @@ func (a *Aligner) Align(ctx context.Context, reads []Read, emit func(i int, rec 
 	_, err = pipeline.RunStreamOn(ctx, s, toSeqReads(reads),
 		pipeline.Config{BatchSize: a.cfg.batch}, emit)
 	return err
+}
+
+// Stats summarizes one alignment call: what it processed, how long it
+// took, and where the kernel time went.
+type Stats struct {
+	// Reads is the number of reads mapped (pairs count both ends).
+	Reads int
+	// Wall is the call's end-to-end wall time.
+	Wall time.Duration
+	// StageSeconds is this call's per-stage kernel time, keyed by stage
+	// name ("SMEM", "SAL", "CHAIN", "BSW-pre", "BSW", "SAM-FORM", "Misc").
+	// It is measured as the pool clock's delta across the call: exact when
+	// nothing else runs on the aligner, approximate under concurrent Align
+	// calls (their stage time interleaves into the same pool).
+	StageSeconds map[string]float64
+}
+
+func statsFromResult(res *pipeline.Result) Stats {
+	st := Stats{Reads: res.Reads, Wall: res.Wall,
+		StageSeconds: make(map[string]float64, counters.NumStages)}
+	for _, stage := range counters.Stages() {
+		st.StageSeconds[stage.String()] = res.Clock.T[stage].Seconds()
+	}
+	return st
+}
+
+// AlignWithStats is Align plus a per-call Stats summary (wall time and the
+// call's per-stage kernel time). On error the zero Stats is returned.
+func (a *Aligner) AlignWithStats(ctx context.Context, reads []Read, emit func(i int, rec []byte)) (Stats, error) {
+	s, err := a.scheduler()
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := pipeline.RunStreamOn(ctx, s, toSeqReads(reads),
+		pipeline.Config{BatchSize: a.cfg.batch}, emit)
+	if err != nil {
+		return Stats{}, err
+	}
+	return statsFromResult(res), nil
+}
+
+// AlignPairedWithStats is AlignPaired plus a per-call Stats summary;
+// Stats.Reads counts both ends of every pair. On error the zero Stats is
+// returned.
+func (a *Aligner) AlignPairedWithStats(ctx context.Context, reads1, reads2 []Read, emit func(i int, rec []byte)) (Stats, error) {
+	if len(reads1) != len(reads2) {
+		return Stats{}, fmt.Errorf("bwamem: unequal pair lists: %d vs %d reads", len(reads1), len(reads2))
+	}
+	s, err := a.scheduler()
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := pipeline.RunPairedStreamOn(ctx, s, toSeqReads(reads1), toSeqReads(reads2),
+		pipeline.Config{BatchSize: a.cfg.batch}, emit)
+	if err != nil {
+		return Stats{}, err
+	}
+	return statsFromResult(res), nil
 }
 
 // AlignSAM maps single-end reads and returns a complete SAM document:

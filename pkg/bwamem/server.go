@@ -2,10 +2,12 @@ package bwamem
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -53,6 +55,12 @@ type ServerConfig struct {
 	// CacheShards is the cache's lock-striping width, rounded up to a
 	// power of two. 0 means 64.
 	CacheShards int
+
+	// DebugRequestTraces sizes the per-request trace ring served by
+	// GET /v1/debug/requests (the N most recent and N slowest request
+	// timelines, with per-phase timings). 0, the default, disables the
+	// endpoint (it answers 404).
+	DebugRequestTraces int
 }
 
 // DefaultServerConfig returns the deployment defaults (result cache on,
@@ -75,6 +83,7 @@ func (c ServerConfig) toCore(mode core.Mode) core.ServerConfig {
 		CacheEnabled:       c.CacheEnabled,
 		CacheBytes:         c.CacheBytes,
 		CacheShards:        c.CacheShards,
+		DebugRequestTraces: c.DebugRequestTraces,
 	}
 }
 
@@ -91,6 +100,7 @@ func fromCoreServerConfig(c core.ServerConfig) ServerConfig {
 		CacheEnabled:       c.CacheEnabled,
 		CacheBytes:         c.CacheBytes,
 		CacheShards:        c.CacheShards,
+		DebugRequestTraces: c.DebugRequestTraces,
 	}
 }
 
@@ -139,6 +149,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // expiries are reported through it with their request IDs). nil disables
 // logging, the default. Safe to call concurrently with serving.
 func (s *Server) SetLogf(logf func(format string, args ...any)) { s.srv.SetLogf(logf) }
+
+// SetLogOutput installs the structured request log: one event per request
+// (request_id, route, status, reads, duration, bytes) plus cancellation
+// warnings, written to w in the given format — "json" (one JSON object per
+// line) or "text" (timestamp, level, message, key=value fields). A nil w
+// disables structured logging, the default. Safe to call concurrently
+// with serving; independent of SetLogf.
+func (s *Server) SetLogOutput(w io.Writer, format string) error {
+	if w == nil {
+		s.srv.SetLogger(nil)
+		return nil
+	}
+	f, err := obs.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	s.srv.SetLogger(obs.NewLogger(w, f, obs.LevelInfo))
+	return nil
+}
 
 // Shutdown drains gracefully: new work is rejected with 503 while
 // admitted requests run to completion, then the worker pool stops. If
