@@ -1,6 +1,7 @@
 GO ?= go
+BWALINT := bin/bwalint
 
-.PHONY: build test vet race serve demo bench bench-record clean
+.PHONY: build test vet lint bwalint bwalint-path race serve demo bench bench-record clean
 
 build:
 	$(GO) build ./...
@@ -11,8 +12,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+bwalint: ## build the repo's own static analyzers (cmd/bwalint)
+	$(GO) build -o $(BWALINT) ./cmd/bwalint
+
+bwalint-path: bwalint ## print the built bwalint path (for go vet -vettool=$$(make -s bwalint-path))
+	@echo $(CURDIR)/$(BWALINT)
+
+lint: bwalint ## run the bwalint contract analyzers over the whole module
+	$(GO) vet -vettool=$(CURDIR)/$(BWALINT) ./...
+
 race:
-	$(GO) test -race ./internal/server/ ./internal/pipeline/ ./internal/seq/ ./internal/rescache/ ./internal/core/ ./internal/obs/ ./pkg/...
+	$(GO) test -race ./...
 
 serve: ## run the alignment server on a synthetic genome
 	$(GO) run ./cmd/bwaserve -addr :8080 -synthetic 200000
@@ -28,3 +38,4 @@ bench-record: ## regenerate the committed kernel benchmark record
 
 clean:
 	$(GO) clean ./...
+	rm -f $(BWALINT)

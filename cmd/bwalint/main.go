@@ -1,0 +1,32 @@
+// Command bwalint machine-enforces the repo's prose contracts: the
+// MappedIndex read-only aliasing rule, request-context plumbing, the
+// pkg/ facade boundary, atomic-counter access discipline, and checked
+// stream-write errors.
+//
+// It runs two ways:
+//
+//	bwalint ./...                                # standalone, from source
+//	go vet -vettool=$(command -v bwalint) ./...  # as a vet tool (make lint)
+//
+// Suppress a finding with an annotated directive on (or right above) the
+// line: //bwalint:ignore <analyzer> <reason>.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/boundary"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/mmapalias"
+	"repro/internal/analysis/streamerr"
+)
+
+func main() {
+	analysis.Main(
+		mmapalias.Analyzer,
+		ctxflow.Analyzer,
+		boundary.Analyzer,
+		atomicfield.Analyzer,
+		streamerr.Analyzer,
+	)
+}

@@ -158,7 +158,9 @@ func cmdMem(args []string) {
 	wall := time.Since(start)
 
 	out := bufio.NewWriterSize(os.Stdout, 1<<20)
-	out.Write(sam)
+	if _, err := out.Write(sam); err != nil {
+		die(err)
+	}
 	if err := out.Flush(); err != nil {
 		die(err)
 	}

@@ -1,0 +1,239 @@
+// Package analysis is a self-contained static-analysis framework modeled
+// on golang.org/x/tools/go/analysis, built only on the standard library so
+// the repo's linters need no external module. It provides the Analyzer /
+// Pass / Diagnostic vocabulary, a per-package runner with
+// `//bwalint:ignore` suppression, and two drivers: a standalone loader
+// (Load) that type-checks packages via `go list`, and a unitchecker
+// (RunUnit) speaking the `go vet -vettool` protocol, both dispatched from
+// Main.
+//
+// The escape hatch for every analyzer in the suite is an annotated
+// directive on (or on the line before) the offending line:
+//
+//	//bwalint:ignore <analyzer>[,<analyzer>|all] <reason>
+//
+// A directive with no reason is inert and itself reported, so every
+// suppression in the tree documents why the contract does not apply.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's short identifier, used in diagnostics,
+	// flag prefixes, and ignore directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Flags holds analyzer-specific options; the driver exposes each
+	// flag as -<name>.<flag>. May be nil.
+	Flags *flag.FlagSet
+	// Run performs the check on one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A TextEdit is a replacement of the source range [Pos, End).
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// A SuggestedFix is a mechanical rewrite that would resolve a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// A Pass presents one package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { p.diags = append(p.diags, d) }
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether f is a _test.go file. Most analyzers in the
+// suite enforce production-path contracts and skip test files.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// A Unit is one loaded, type-checked package ready to be analyzed. Both
+// drivers and the analysistest harness construct Units.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	sup *suppressions
+}
+
+// Run applies a to the unit and returns its surviving diagnostics sorted
+// by position: findings on lines carrying (or directly following) a
+// well-formed `//bwalint:ignore` directive naming a (or "all") are
+// dropped.
+func (u *Unit) Run(a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	if u.sup == nil {
+		u.sup = newSuppressions(u.Fset, u.Files)
+	}
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !u.sup.covers(a.Name, u.Fset.Position(d.Pos)) {
+			kept = append(kept, d)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// DirectiveDiagnostics reports malformed `//bwalint:ignore` directives
+// (ones missing an analyzer name or a reason). Such directives suppress
+// nothing, so an undocumented escape hatch surfaces as a finding instead
+// of silently widening. Drivers call this once per package.
+func (u *Unit) DirectiveDiagnostics() []Diagnostic {
+	if u.sup == nil {
+		u.sup = newSuppressions(u.Fset, u.Files)
+	}
+	return u.sup.malformed
+}
+
+const ignorePrefix = "//bwalint:ignore"
+
+// suppressions indexes the well-formed ignore directives of a package.
+type suppressions struct {
+	// byLine maps filename:line to the analyzer names suppressed there.
+	byLine    map[string][]string
+	malformed []Diagnostic
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos: c.Pos(),
+						Message: fmt.Sprintf(
+							"malformed directive %q: want %s <analyzer>[,<analyzer>] <reason> (directive has no effect)",
+							c.Text, ignorePrefix),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names := strings.Split(fields[0], ",")
+				// The directive covers its own line and, for
+				// standalone comment lines, the line below.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := lineKey(pos.Filename, line)
+					s.byLine[key] = append(s.byLine[key], names...)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) covers(analyzer string, pos token.Position) bool {
+	for _, name := range s.byLine[lineKey(pos.Filename, pos.Line)] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// WalkStack walks the tree rooted at root, calling fn for each node with
+// the stack of enclosing nodes (outermost first, not including n). If fn
+// returns false the node's children are skipped.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// NamedOf unwraps pointers and aliases to the named type of t, if any.
+func NamedOf(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	u := types.Unalias(t)
+	if p, ok := u.(*types.Pointer); ok {
+		u = types.Unalias(p.Elem())
+	}
+	n, ok := u.(*types.Named)
+	return n, ok
+}
+
+// PkgPathMatches reports whether a package path equals suffix or ends in
+// "/"+suffix, so contracts written against "internal/core" match both the
+// real module path and analysistest fixture paths.
+func PkgPathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// TypeIs reports whether t (possibly behind a pointer or alias) is the
+// named type pkgSuffix.name.
+func TypeIs(t types.Type, pkgSuffix, name string) bool {
+	n, ok := NamedOf(t)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && PkgPathMatches(n.Obj().Pkg().Path(), pkgSuffix)
+}

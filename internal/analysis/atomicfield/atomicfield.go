@@ -1,0 +1,217 @@
+// Package atomicfield guards the repo's lock-free accounting structures:
+// fields of the counters package's structs and of obs.Histogram may be
+// touched only through their accessor methods (which use sync/atomic),
+// and any struct carrying sync/atomic state must never be copied by
+// value — a copy tears the counters and silently forks the metrics.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "guard atomic counter structs against direct stores and value copies\n\n" +
+		"Structs declared in internal/counters and obs.Histogram are mutated\n" +
+		"only via their own methods; writing their fields elsewhere bypasses the\n" +
+		"sync/atomic discipline. Any struct containing a sync/atomic value\n" +
+		"(AtomicClock, obs.Histogram, core.MappedIndex, ...) must move by\n" +
+		"pointer, never by value.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, holders: make(map[types.Type]bool)}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					c.checkFieldWrite(lhs, stack)
+				}
+				if len(n.Lhs) == len(n.Rhs) {
+					for _, rhs := range n.Rhs {
+						c.checkCopy(rhs, "assignment copies")
+					}
+				}
+			case *ast.IncDecStmt:
+				c.checkFieldWrite(n.X, stack)
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					c.checkCopy(v, "variable initialization copies")
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					c.checkCopy(arg, "call passes")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					c.checkCopy(res, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := c.pass.TypesInfo.TypeOf(n.Value); c.holdsAtomic(t) {
+						c.pass.Reportf(n.Value.Pos(), "range copies %s by value; it carries sync/atomic state — iterate by index or pointer", typeName(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	holders map[types.Type]bool // memoized "contains sync/atomic state"
+}
+
+// checkFieldWrite flags a direct store to a field of a guarded struct
+// (counters.* / obs.Histogram) from outside that struct's own methods.
+func (c *checker) checkFieldWrite(lhs ast.Expr, stack []ast.Node) {
+	e := ast.Unparen(lhs)
+	// Unwrap element/array accesses: c.T[s] += d writes field T.
+	for {
+		if idx, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(idx.X)
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field, ok := c.pass.TypesInfo.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !field.IsField() {
+		return
+	}
+	owner, ok := analysis.NamedOf(c.pass.TypesInfo.TypeOf(sel.X))
+	if !ok || !guardedStruct(owner) {
+		return
+	}
+	if c.inMethodOf(stack, owner) {
+		return
+	}
+	if c.locallyOwnedValue(sel.X) {
+		return
+	}
+	c.pass.Reportf(lhs.Pos(), "direct write to %s.%s outside its methods; use the accessor methods (sync/atomic discipline)",
+		owner.Obj().Name(), sel.Sel.Name)
+}
+
+// checkCopy flags e when it produces a by-value copy of a struct carrying
+// sync/atomic state. Composite literals and address-taking construct
+// rather than copy and are exempt.
+func (c *checker) checkCopy(e ast.Expr, how string) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.UnaryExpr:
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if !c.holdsAtomic(t) {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "%s %s by value; it carries sync/atomic state — pass a pointer", how, typeName(t))
+}
+
+// holdsAtomic reports whether t is a non-pointer struct type containing,
+// transitively through fields and arrays, a sync/atomic value.
+func (c *checker) holdsAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if done, ok := c.holders[t]; ok {
+		return done
+	}
+	c.holders[t] = false // cycle guard
+	result := false
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		if fromAtomicPkg(t) {
+			result = true
+			break
+		}
+		for i := 0; i < u.NumFields() && !result; i++ {
+			result = c.holdsAtomic(u.Field(i).Type())
+		}
+	case *types.Array:
+		result = c.holdsAtomic(u.Elem())
+	}
+	c.holders[t] = result
+	return result
+}
+
+// guardedStruct reports whether named is one of the accessor-only types:
+// any struct in a counters package, or obs.Histogram.
+func guardedStruct(named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	if analysis.PkgPathMatches(obj.Pkg().Path(), "internal/counters") {
+		return true
+	}
+	return obj.Name() == "Histogram" && analysis.PkgPathMatches(obj.Pkg().Path(), "internal/obs")
+}
+
+// fromAtomicPkg reports whether t is itself one of sync/atomic's types.
+func fromAtomicPkg(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// locallyOwnedValue reports whether base is a function-scoped variable of
+// non-pointer type: a fresh value the function owns outright (e.g. the
+// StageClock that AtomicClock.Snapshot assembles). Writes through such a
+// value cannot reach shared state, unlike writes through a pointer.
+func (c *checker) locallyOwnedValue(base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return false // package-level: shared state
+	}
+	_, isPtr := types.Unalias(v.Type()).Underlying().(*types.Pointer)
+	return !isPtr
+}
+
+// inMethodOf reports whether the innermost enclosing FuncDecl is a method
+// whose receiver is owner (the accessor exemption).
+func (c *checker) inMethodOf(stack []ast.Node, owner *types.Named) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return false
+		}
+		recv, ok := analysis.NamedOf(c.pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+		return ok && recv.Obj() == owner.Obj()
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	if n, ok := analysis.NamedOf(t); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

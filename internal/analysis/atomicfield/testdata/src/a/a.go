@@ -1,0 +1,47 @@
+package a
+
+import (
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/obs"
+)
+
+var sink interface{}
+
+func badWrites(c *counters.StageClock) {
+	c.T[0] += time.Second // want `direct write to StageClock\.T outside its methods`
+	c.T[1] = 0            // want `direct write to StageClock\.T outside its methods`
+}
+
+func badCopies(ac *counters.AtomicClock, h *obs.Histogram) {
+	hv := *h // want `assignment copies Histogram by value`
+	sink = &hv
+	use(*ac) // want `call passes AtomicClock by value`
+}
+
+func use(counters.AtomicClock) {}
+
+func badReturn(ac *counters.AtomicClock) counters.AtomicClock {
+	return *ac // want `return copies AtomicClock by value`
+}
+
+func badRange(list []obs.Histogram) {
+	for _, h := range list { // want `range copies Histogram by value`
+		sink = h.Count()
+	}
+}
+
+func good(c *counters.StageClock, ac *counters.AtomicClock, h *obs.Histogram) int64 {
+	c.Add(0, time.Second)
+	ac.Add(1, time.Millisecond)
+	h.Observe(5)
+	// StageClock carries no atomic state; snapshot-by-value is its
+	// documented idiom.
+	snap := ac.Snapshot()
+	other := snap
+	other.Add(2, time.Second)
+	var fresh obs.Histogram
+	sink = &fresh
+	return h.Count()
+}

@@ -1,0 +1,45 @@
+// Package counters is an analysistest stub of repro/internal/counters:
+// one plain per-worker clock and one atomic aggregation clock.
+package counters
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+type Stage int
+
+const NumStages = 3
+
+// StageClock is per-goroutine and unsynchronized; copying it is fine,
+// but its fields still belong to its accessors.
+type StageClock struct {
+	T [NumStages]time.Duration
+}
+
+func (c *StageClock) Add(s Stage, d time.Duration) { c.T[s] += d }
+
+func (c *StageClock) Merge(src *StageClock) {
+	for i := range c.T {
+		c.T[i] += src.T[i]
+	}
+}
+
+// AtomicClock carries sync/atomic state: accessor-only and never copied.
+type AtomicClock struct {
+	ns [NumStages]atomic.Int64
+}
+
+func (c *AtomicClock) Add(s Stage, d time.Duration) { c.ns[s].Add(int64(d)) }
+
+func (c *AtomicClock) Snapshot() StageClock {
+	var s StageClock
+	for i := range s.T {
+		s.T[i] = time.Duration(c.ns[i].Load())
+	}
+	return s
+}
+
+func zero(c *AtomicClock) {
+	c.ns = [NumStages]atomic.Int64{} // want `direct write to AtomicClock\.ns outside its methods`
+}

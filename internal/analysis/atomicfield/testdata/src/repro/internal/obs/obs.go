@@ -1,0 +1,18 @@
+// Package obs is an analysistest stub of repro/internal/obs.
+package obs
+
+import "sync/atomic"
+
+// Histogram mirrors the real latency histogram: atomic buckets, accessor
+// methods only, never copied by value.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+}
+
+func (h *Histogram) Observe(n int64) {
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+func (h *Histogram) Count() int64 { return h.count.Load() }

@@ -1,0 +1,86 @@
+// Package boundary enforces the PR 5 facade rule in the import graph:
+// the alignment engine's internal packages are reachable only through the
+// pkg/ facades, other internal/ code, and an explicit allowlist, so the
+// golden API-surface test is no longer the only tripwire.
+package boundary
+
+import (
+	"flag"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "boundary",
+	Doc: "enforce the pkg/ facade rule on the import graph\n\n" +
+		"Nothing outside pkg/..., internal/..., and the -boundary.allow list may\n" +
+		"import the engine packages (internal/pipeline, internal/server,\n" +
+		"internal/core by default): cmd binaries and examples go through the\n" +
+		"pkg/bwamem and pkg/bwaclient facades so the wire and Go API surfaces\n" +
+		"stay the versioned ones.",
+	Flags: flags(),
+	Run:   run,
+}
+
+var (
+	restrictedFlag string
+	allowedFlag    string
+	allowFlag      string
+)
+
+func flags() *flag.FlagSet {
+	fs := flag.NewFlagSet("boundary", flag.ExitOnError)
+	fs.StringVar(&restrictedFlag, "restricted",
+		"repro/internal/pipeline,repro/internal/server,repro/internal/core",
+		"comma-separated packages only importable behind the facade")
+	fs.StringVar(&allowedFlag, "allowed", "repro/internal,repro/pkg",
+		"comma-separated package-path prefixes exempt from the facade rule")
+	fs.StringVar(&allowFlag, "allow", "",
+		"comma-separated extra packages (e.g. cmd tools) allowed to import restricted packages")
+	return fs
+}
+
+func run(pass *analysis.Pass) error {
+	// Strip the " [foo.test]" disambiguator the build system appends to
+	// test variants of a package path.
+	pkgPath, _, _ := strings.Cut(pass.Pkg.Path(), " ")
+	for _, prefix := range splitList(allowedFlag) {
+		if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
+			return nil
+		}
+	}
+	for _, allowed := range splitList(allowFlag) {
+		if pkgPath == allowed {
+			return nil
+		}
+	}
+	restricted := splitList(restrictedFlag)
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, r := range restricted {
+				if path == r {
+					pass.Reportf(imp.Pos(),
+						"%s imports engine package %s: only pkg/ facades and internal/ code may (facade rule); use pkg/bwamem / pkg/bwaclient or add the importer to -boundary.allow",
+						pkgPath, path)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

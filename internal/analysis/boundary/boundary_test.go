@@ -1,0 +1,23 @@
+package boundary_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/boundary"
+)
+
+func TestBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", boundary.Analyzer,
+		"repro/examples/bad", "repro/pkg/facade", "repro/cmd/debugtool")
+}
+
+// TestAllowlist checks that the explicit cmd allowlist exempts a package
+// from the facade rule.
+func TestAllowlist(t *testing.T) {
+	if err := boundary.Analyzer.Flags.Set("allow", "repro/cmd/allowedtool"); err != nil {
+		t.Fatal(err)
+	}
+	defer boundary.Analyzer.Flags.Set("allow", "")
+	analysistest.Run(t, "testdata", boundary.Analyzer, "repro/cmd/allowedtool")
+}

@@ -1,0 +1,6 @@
+// allowedtool models a cmd on the explicit -boundary.allow list.
+package main
+
+import "repro/internal/server"
+
+func main() { server.Serve() }

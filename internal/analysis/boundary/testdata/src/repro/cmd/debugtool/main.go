@@ -1,0 +1,5 @@
+package main
+
+import "repro/internal/server" // want `repro/cmd/debugtool imports engine package repro/internal/server`
+
+func main() { server.Serve() }

@@ -1,0 +1,4 @@
+// Package server is an analysistest stub of the restricted engine package.
+package server
+
+func Serve() {}

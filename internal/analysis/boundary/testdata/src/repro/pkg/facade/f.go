@@ -1,0 +1,6 @@
+// Package facade sits under pkg/ and may wrap the engine.
+package facade
+
+import "repro/internal/server"
+
+func Serve() { server.Serve() }

@@ -1,0 +1,46 @@
+package ctxflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"repro/internal/pipeline", "repro/internal/experiments")
+}
+
+// TestSuggestedFix checks the mechanical rewrite: a context.TODO() inside
+// a function with a ctx parameter suggests replacing the call with ctx.
+func TestSuggestedFix(t *testing.T) {
+	res := analysistest.Run(t, "testdata", ctxflow.Analyzer, "repro/internal/pipeline")
+	found := false
+	for _, d := range res[0].Diags {
+		if !strings.Contains(d.Message, "context.TODO()") {
+			continue
+		}
+		found = true
+		if len(d.SuggestedFixes) != 1 {
+			t.Fatalf("TODO diagnostic: got %d fixes, want 1", len(d.SuggestedFixes))
+		}
+		edit := d.SuggestedFixes[0].TextEdits[0]
+		if got := string(edit.NewText); got != "ctx" {
+			t.Errorf("fix rewrites to %q, want \"ctx\"", got)
+		}
+	}
+	if !found {
+		t.Fatal("no context.TODO() diagnostic found")
+	}
+	// The Background() in Run has no ctx in scope: no fix offered.
+	for _, d := range res[0].Diags {
+		if strings.Contains(d.Message, "Background") && strings.Contains(d.Message, "repro/internal/pipeline") {
+			pos := res[0].Unit.Fset.Position(d.Pos)
+			if pos.Line == 6 && len(d.SuggestedFixes) != 0 {
+				t.Errorf("Background() with no ctx in scope offered a fix: %v", d.SuggestedFixes)
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package experiments is outside the request path, so minting a root
+// context is fine here.
+package experiments
+
+import "context"
+
+func Offline() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,32 @@
+package pipeline
+
+import "context"
+
+func Run(s string) error {
+	ctx := context.Background() // want `context\.Background\(\) in request-path package repro/internal/pipeline`
+	return RunOn(ctx, s)
+}
+
+func RunOn(ctx context.Context, s string) error {
+	if err := step(context.TODO(), s); err != nil { // want `context\.TODO\(\) in request-path package`
+		return err
+	}
+	return step(nil, s) // want `nil Context passed on the request path`
+}
+
+func nested(ctx context.Context) {
+	go func() {
+		_ = step(context.Background(), "x") // want `context\.Background\(\) in request-path package`
+	}()
+}
+
+func shutdownDrain() {
+	//bwalint:ignore ctxflow drain runs after every request context is gone
+	_ = step(context.Background(), "drain")
+}
+
+func step(ctx context.Context, s string) error {
+	_ = ctx
+	_ = s
+	return nil
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string // source import -> resolved path (vendoring)
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// loader type-checks a dependency closure listed by the go command,
+// entirely from source (no export data, no network).
+type loader struct {
+	fset     *token.FileSet
+	list     map[string]*listPackage
+	pkgs     map[string]*types.Package
+	units    map[string]*Unit
+	checking map[string]bool // import-cycle guard
+}
+
+// Load enumerates patterns with `go list` in dir and returns a Unit per
+// matched package, type-checked from source in dependency order. It is
+// the standalone driver's front end; `go vet -vettool` mode bypasses it
+// and uses compiler export data instead (see unitchecker.go).
+func Load(dir string, patterns []string) ([]*Unit, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Pure-Go file sets keep the std dependency closure type-checkable
+	// from source.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	l := &loader{
+		fset:     token.NewFileSet(),
+		list:     make(map[string]*listPackage),
+		pkgs:     make(map[string]*types.Package),
+		units:    make(map[string]*Unit),
+		checking: make(map[string]bool),
+	}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		l.list[lp.ImportPath] = lp
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+
+	var units []*Unit
+	for _, lp := range targets {
+		if _, err := l.check(lp.ImportPath); err != nil {
+			return nil, err
+		}
+		units = append(units, l.units[lp.ImportPath])
+	}
+	return units, nil
+}
+
+func (l *loader) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	lp, ok := l.list[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not in go list output", path)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if mapped, ok := lp.ImportMap[imp]; ok {
+				imp = mapped
+			}
+			return l.check(imp)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	l.units[path] = &Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// StdImporter returns a shared source-level importer for standard-library
+// packages, for harnesses (analysistest) that type-check loose fixture
+// files outside a module.
+func StdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}

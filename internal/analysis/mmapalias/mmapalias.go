@@ -1,0 +1,180 @@
+// Package mmapalias flags writes through index data that may alias a
+// read-only memory mapping, enforcing the core.MappedIndex lifetime
+// contract at build time instead of as a runtime SIGBUS.
+package mmapalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// aliasedFields are the slice fields reachable from core.MappedIndex /
+// core.Prebuilt that alias the mapping in mmap mode: the packed reference
+// (Ref.Pac), the BWT column (BWT.B0), and the suffix array (FullSA). The
+// occurrence tables alias too, but their slices are unexported and so
+// unwritable outside fmindex by construction.
+var aliasedFields = map[string]bool{"Pac": true, "B0": true, "FullSA": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mmapalias",
+	Doc: "reject writes into index slices that may alias a read-only mmap\n\n" +
+		"Any []byte/[]int32 reached from a core.Prebuilt or core.MappedIndex —\n" +
+		"pi.Ref.Pac, pi.BWT.B0, pi.FullSA — may alias a PROT_READ mapping, so\n" +
+		"element stores, append, and copy-into are build failures. Data must be\n" +
+		"copied out before mutation. Applies to non-test files everywhere; use\n" +
+		"//bwalint:ignore mmapalias <reason> for code that provably owns a heap\n" +
+		"copy.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		tainted := taintedObjects(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && aliasedSlice(pass, tainted, idx.X) {
+						pass.Reportf(lhs.Pos(), "write into %s, which may alias the read-only index mapping (core.MappedIndex contract); copy the slice before mutating", types.ExprString(idx.X))
+					}
+				}
+			case *ast.CallExpr:
+				switch calleeName(pass, n) {
+				case "append":
+					if len(n.Args) > 0 && aliasedSlice(pass, tainted, n.Args[0]) {
+						pass.Reportf(n.Pos(), "append to %s, which may alias the read-only index mapping; build a fresh slice instead", types.ExprString(n.Args[0]))
+					}
+				case "copy":
+					if len(n.Args) > 0 && aliasedSlice(pass, tainted, n.Args[0]) {
+						pass.Reportf(n.Pos(), "copy into %s, which may alias the read-only index mapping", types.ExprString(n.Args[0]))
+					}
+				case "clear":
+					if len(n.Args) > 0 && aliasedSlice(pass, tainted, n.Args[0]) {
+						pass.Reportf(n.Pos(), "clear of %s, which may alias the read-only index mapping", types.ExprString(n.Args[0]))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName returns the name of a builtin callee, or "".
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// isRootType reports whether t is core.MappedIndex or core.Prebuilt
+// (possibly behind a pointer).
+func isRootType(t types.Type) bool {
+	return analysis.TypeIs(t, "internal/core", "MappedIndex") ||
+		analysis.TypeIs(t, "internal/core", "Prebuilt")
+}
+
+// aliasedSlice reports whether e denotes one of the aliased slices: a
+// selector chain ending in an aliased field and rooted (possibly through
+// intermediate fields, indexing, or a tainted local) at a Prebuilt or
+// MappedIndex.
+func aliasedSlice(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if !aliasedFields[e.Sel.Name] {
+			return false
+		}
+		if _, ok := pass.TypesInfo.TypeOf(e).(*types.Slice); !ok {
+			return false
+		}
+		return rooted(pass, tainted, e.X)
+	case *ast.Ident:
+		return tainted[pass.TypesInfo.ObjectOf(e)]
+	case *ast.IndexExpr:
+		return aliasedSlice(pass, tainted, e.X)
+	case *ast.SliceExpr:
+		return aliasedSlice(pass, tainted, e.X)
+	}
+	return false
+}
+
+// rooted reports whether e's selector/index chain contains a value of a
+// root index type or a tainted local.
+func rooted(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	for {
+		e = ast.Unparen(e)
+		if isRootType(pass.TypesInfo.TypeOf(e)) {
+			return true
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return tainted[pass.TypesInfo.ObjectOf(x)]
+		default:
+			return false
+		}
+	}
+}
+
+// taintedObjects collects locals bound to an aliased slice or to a struct
+// reached from a root (sa := pi.FullSA; ref := pi.Ref), iterating to a
+// fixed point so chains of rebinding are followed. The analysis is flow-
+// insensitive: rebinding a tainted name to a fresh slice does not clear
+// it, which errs on the side of the contract.
+func taintedObjects(pass *analysis.Pass, file *ast.File) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for {
+		added := false
+		bind := func(lhs, rhs ast.Expr) {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil || tainted[obj] {
+				return
+			}
+			if aliasedSlice(pass, tainted, rhs) || rooted(pass, tainted, rhs) {
+				tainted[obj] = true
+				added = true
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						bind(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						bind(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+		if !added {
+			return tainted
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package mmapalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mmapalias"
+)
+
+func TestMmapAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", mmapalias.Analyzer, "a")
+}

@@ -1,0 +1,38 @@
+package a
+
+import "repro/internal/core"
+
+func bad(pi *core.Prebuilt, mi *core.MappedIndex) {
+	pi.FullSA[0] = 1              // want `write into pi\.FullSA, which may alias the read-only index mapping`
+	pi.Ref.Pac[2] = 0xff          // want `write into pi\.Ref\.Pac`
+	mi.BWT.B0[0] |= 1             // want `write into mi\.BWT\.B0`
+	mi.FullSA[3] = 9              // want `write into mi\.FullSA`
+	_ = append(pi.FullSA, 9)      // want `append to pi\.FullSA`
+	copy(pi.Ref.Pac, []byte("x")) // want `copy into pi\.Ref\.Pac`
+	clear(mi.BWT.B0)              // want `clear of mi\.BWT\.B0`
+}
+
+func taintedLocals(pi *core.Prebuilt, mi *core.MappedIndex) {
+	sa := pi.FullSA
+	sa[1] = 2 // want `write into sa`
+	ref := mi.Ref
+	ref.Pac[0] = 1 // want `write into ref\.Pac`
+	sub := sa[2:4]
+	sub[0] = 3 // want `write into sub`
+}
+
+func ignored(pi *core.Prebuilt) {
+	//bwalint:ignore mmapalias caller guarantees a heap-loaded index it owns
+	pi.FullSA[0] = 1
+}
+
+func good(pi *core.Prebuilt, mi *core.MappedIndex) int32 {
+	fresh := append([]int32(nil), pi.FullSA...)
+	fresh[0] = 7
+	pac := make([]byte, len(mi.Ref.Pac))
+	copy(pac, mi.Ref.Pac)
+	pac[0] = 4
+	local := []byte{1, 2}
+	local[0] = 3
+	return pi.FullSA[0] + int32(pi.BWT.B0[0])
+}

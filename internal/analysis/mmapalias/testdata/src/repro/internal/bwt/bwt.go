@@ -1,0 +1,8 @@
+// Package bwt is an analysistest stub of the real repro/internal/bwt.
+package bwt
+
+// BWT mirrors the real type's aliasing-relevant shape.
+type BWT struct {
+	N  int
+	B0 []byte
+}

@@ -1,0 +1,19 @@
+// Package core is an analysistest stub of the real repro/internal/core:
+// the two root types whose reachable slices may alias a read-only mapping.
+package core
+
+import (
+	"repro/internal/bwt"
+	"repro/internal/seq"
+)
+
+type Prebuilt struct {
+	Ref    *seq.Reference
+	BWT    *bwt.BWT
+	FullSA []int32
+}
+
+type MappedIndex struct {
+	Prebuilt
+	Path string
+}

@@ -1,0 +1,8 @@
+// Package seq is an analysistest stub of the real repro/internal/seq.
+package seq
+
+// Reference mirrors the real type's aliasing-relevant shape.
+type Reference struct {
+	Pac  []byte
+	Name string
+}

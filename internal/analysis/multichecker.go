@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the entry point shared by cmd/bwalint's two modes:
+//
+//	bwalint [packages]          standalone: load from source and report
+//	go vet -vettool=bwalint     build-system mode: -V=full, -flags, *.cfg
+//
+// It parses flags (exposing each analyzer's flags as -<name>.<flag>),
+// dispatches, and exits the process.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [package pattern ...]\n", progname)
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v %s) [packages]\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+		fs.PrintDefaults()
+	}
+	versionFlag := fs.String("V", "", "print version information (the go command passes -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the analyzer flags in JSON (for the go command)")
+	for _, a := range analyzers {
+		if a.Flags == nil {
+			continue
+		}
+		name := a.Name
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, name+"."+f.Name, f.Usage)
+		})
+	}
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		printVersion(progname)
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		printFlagsJSON(fs)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		RunUnit(args[0], analyzers) // exits
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	runStandalone(args, analyzers) // exits
+}
+
+// printVersion implements -V=full in the form the go command's build-ID
+// machinery requires of a vettool ("<name> version devel ... buildID=<id>");
+// hashing the executable makes rebuilt linters invalidate vet's cache.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+}
+
+// printFlagsJSON implements -flags: the go command asks the vettool to
+// enumerate its flags so it can forward user-supplied ones.
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func runStandalone(patterns []string, analyzers []*Analyzer) {
+	units, err := Load(".", patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	exit := 0
+	for _, unit := range units {
+		for _, d := range unit.DirectiveDiagnostics() {
+			printDiag(os.Stderr, unit.Fset, "bwalint", d)
+			exit = 1
+		}
+		for _, a := range analyzers {
+			diags, err := unit.Run(a)
+			if err != nil {
+				fatalf("%s: %s: %v", unit.Pkg.Path(), a.Name, err)
+			}
+			for _, d := range diags {
+				printDiag(os.Stderr, unit.Fset, a.Name, d)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,42 @@
+package streamerr_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/streamerr"
+)
+
+func TestStreamErr(t *testing.T) {
+	analysistest.Run(t, "testdata", streamerr.Analyzer,
+		"repro/internal/pipeline", // bad cases
+		"repro/internal/server",   // no-false-positive streamer
+		"a",                       // out of scope: same writes, no findings
+	)
+}
+
+// TestSuggestedFix checks the mechanical rewrite offered inside functions
+// that can return the error.
+func TestSuggestedFix(t *testing.T) {
+	res := analysistest.Run(t, "testdata", streamerr.Analyzer, "repro/internal/pipeline")
+	want := "if _, err := w.Write(nil); err != nil {\n\treturn err\n}"
+	for _, d := range res[0].Diags {
+		pos := res[0].Unit.Fset.Position(d.Pos)
+		inErrorFunc := pos.Line == 28 // the w.Write(nil) in badInErrorFunc
+		switch {
+		case inErrorFunc:
+			if len(d.SuggestedFixes) != 1 {
+				t.Fatalf("%s: got %d fixes, want 1", pos, len(d.SuggestedFixes))
+			}
+			if got := string(d.SuggestedFixes[0].TextEdits[0].NewText); got != want {
+				t.Errorf("%s: fix = %q, want %q", pos, got, want)
+			}
+		case strings.Contains(d.Message, "is dropped"):
+			// Enclosing functions without an error result get no fix.
+			if len(d.SuggestedFixes) != 0 {
+				t.Errorf("%s: unexpected fix outside error-returning function", pos)
+			}
+		}
+	}
+}

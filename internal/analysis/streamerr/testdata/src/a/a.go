@@ -1,0 +1,14 @@
+// Package a is outside the streaming-path scope: the same dropped writes
+// that streamerr flags in internal/pipeline must produce no findings here.
+package a
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+func reportOnly(w io.Writer, bw *bufio.Writer) {
+	fmt.Fprintf(w, "summary: %d\n", 1)
+	bw.Flush()
+}

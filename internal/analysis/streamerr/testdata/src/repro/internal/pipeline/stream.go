@@ -1,0 +1,34 @@
+package pipeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+func bad(w io.Writer, bw *bufio.Writer) {
+	w.Write([]byte("x"))      // want `error from \(io\.Writer\)\.Write is dropped on the stream path`
+	bw.Flush()                // want `error from \(\*bufio\.Writer\)\.Flush is dropped`
+	fmt.Fprintf(w, "x=%d", 1) // want `error from fmt\.Fprintf is dropped`
+	io.WriteString(w, "x")    // want `error from io\.WriteString is dropped`
+}
+
+func badDiscards(w io.Writer, bw *bufio.Writer) {
+	_ = bw.Flush()       // want `error from \(\*bufio\.Writer\)\.Flush discarded without annotation`
+	_, _ = w.Write(nil)  // want `error from \(io\.Writer\)\.Write discarded without annotation`
+	n, _ := w.Write(nil) // want `error from \(io\.Writer\)\.Write discarded without annotation`
+	_ = n
+}
+
+func badDefer(bw *bufio.Writer) {
+	defer bw.Flush() // want `deferred \(\*bufio\.Writer\)\.Flush drops its error`
+}
+
+func badInErrorFunc(w io.Writer) error {
+	w.Write(nil) // want `error from \(io\.Writer\)\.Write is dropped`
+	return nil
+}
+
+func annotated(bw *bufio.Writer) {
+	_ = bw.Flush() //bwalint:ignore streamerr connection teardown, flush is best-effort
+}

@@ -1,0 +1,55 @@
+// Package server is a no-false-positive fixture modeled on the real
+// internal/server SAM streamer: checked chunk writes, an error-free
+// http.Flusher, in-memory rendering buffers, and stderr diagnostics.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// flusher mirrors net/http.Flusher: Flush returns no error, so there is
+// nothing to drop.
+type flusher interface {
+	Flush()
+}
+
+type samStreamer struct {
+	w       io.Writer
+	flusher flusher
+	header  string
+}
+
+func (st *samStreamer) emit(records [][]byte) (int64, error) {
+	var written int64
+	hn, err := io.WriteString(st.w, st.header)
+	written += int64(hn)
+	if err != nil {
+		return written, err
+	}
+	for _, rec := range records {
+		rn, err := st.w.Write(rec)
+		written += int64(rn)
+		if err != nil {
+			return written, err
+		}
+		if st.flusher != nil {
+			st.flusher.Flush()
+		}
+	}
+	return written, nil
+}
+
+func (st *samStreamer) render(rec []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(rec)
+	buf.WriteByte('\n')
+	fmt.Fprintf(&buf, "len=%d", len(rec))
+	return buf.Bytes()
+}
+
+func logDrop(reason string) {
+	fmt.Fprintln(os.Stderr, "dropped:", reason)
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// unitConfig describes one compilation unit, decoded from the JSON *.cfg
+// file `go vet -vettool` hands the tool for every package it vets. The
+// field set mirrors the go command's (cmd/go/internal/work's vetConfig);
+// unknown fields are ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export-data file
+	Standard                  map[string]bool
+	VetxOnly                  bool   // facts-only run on a dependency
+	VetxOutput                string // where the build system expects the facts file
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the `go vet -vettool` protocol for one *.cfg file and
+// exits the process: 0 on a clean pass, 1 when diagnostics were reported,
+// fatal on protocol or type-checking errors. Types for imports come from
+// the compiler's export data named in the config, so no source outside
+// the unit is re-checked.
+func RunUnit(configFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("cannot decode vet config %s: %v", configFile, err)
+	}
+
+	// The go command requires the facts file to exist for every vetted
+	// package. The suite carries no cross-package facts, so it is
+	// always empty — and dependency (VetxOnly) runs need nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	unit, err := typecheckUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the same errors with better
+			// context; stay quiet here.
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+
+	exit := 0
+	for _, d := range unit.DirectiveDiagnostics() {
+		printDiag(os.Stderr, unit.Fset, "bwalint", d)
+		exit = 1
+	}
+	for _, a := range analyzers {
+		diags, err := unit.Run(a)
+		if err != nil {
+			fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			printDiag(os.Stderr, unit.Fset, a.Name, d)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func typecheckUnit(cfg *unitConfig) (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	exportImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// path is already canonical (post-ImportMap).
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				importPath = mapped
+			}
+			return exportImporter.Import(importPath)
+		}),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func printDiag(w io.Writer, fset *token.FileSet, analyzer string, d Diagnostic) {
+	fmt.Fprintf(w, "%s: %s [bwalint/%s]\n", fset.Position(d.Pos), d.Message, analyzer)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bwalint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -87,6 +87,7 @@ func Run(a *core.Aligner, reads []seq.Read, cfg Config) *Result {
 func RunOn(s *Scheduler, reads []seq.Read, cfg Config) *Result {
 	perRead := make([][]byte, len(reads))
 	// context.Background never cancels, so the error is structurally nil.
+	//bwalint:ignore ctxflow context-free compatibility wrapper; callers wanting cancellation use RunStreamOn
 	res, _ := RunStreamOn(context.Background(), s, reads, cfg,
 		func(i int, rec []byte) { perRead[i] = rec })
 	res.SAM = concatRecords(perRead)
@@ -201,6 +202,7 @@ func RunPaired(a *core.Aligner, reads1, reads2 []seq.Read, cfg Config) *Result {
 func RunPairedOn(s *Scheduler, reads1, reads2 []seq.Read, cfg Config) *Result {
 	perPair := make([][]byte, len(reads1))
 	// context.Background never cancels, so the error is structurally nil.
+	//bwalint:ignore ctxflow context-free compatibility wrapper; callers wanting cancellation use RunPairedStreamOn
 	res, _ := RunPairedStreamOn(context.Background(), s, reads1, reads2, cfg,
 		func(i int, rec []byte) { perPair[i] = rec })
 	res.SAM = concatRecords(perPair)

@@ -72,26 +72,31 @@ func splitHeader(h []byte) (name, desc string) {
 // (width <= 0 means no wrapping).
 func WriteFasta(w io.Writer, recs []FastaRecord, width int) error {
 	bw := bufio.NewWriter(w)
+	var buf bytes.Buffer // staged per record so each bw.Write error is checked
 	for _, rec := range recs {
+		buf.Reset()
 		if rec.Desc != "" {
-			fmt.Fprintf(bw, ">%s %s\n", rec.Name, rec.Desc)
+			fmt.Fprintf(&buf, ">%s %s\n", rec.Name, rec.Desc)
 		} else {
-			fmt.Fprintf(bw, ">%s\n", rec.Name)
+			fmt.Fprintf(&buf, ">%s\n", rec.Name)
 		}
 		s := rec.Seq
 		if width <= 0 {
-			bw.Write(s)
-			bw.WriteByte('\n')
-			continue
-		}
-		for len(s) > 0 {
-			n := width
-			if n > len(s) {
-				n = len(s)
+			buf.Write(s)
+			buf.WriteByte('\n')
+		} else {
+			for len(s) > 0 {
+				n := width
+				if n > len(s) {
+					n = len(s)
+				}
+				buf.Write(s[:n])
+				buf.WriteByte('\n')
+				s = s[n:]
 			}
-			bw.Write(s[:n])
-			bw.WriteByte('\n')
-			s = s[n:]
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()

@@ -124,20 +124,25 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 // a constant 'I' (Q40) quality string.
 func WriteFastq(w io.Writer, reads []Read) error {
 	bw := bufio.NewWriter(w)
+	var buf bytes.Buffer // staged per record so each bw.Write error is checked
 	for _, rd := range reads {
-		bw.WriteByte('@')
-		bw.WriteString(rd.Name)
-		bw.WriteByte('\n')
-		bw.Write(rd.Seq)
-		bw.WriteString("\n+\n")
+		buf.Reset()
+		buf.WriteByte('@')
+		buf.WriteString(rd.Name)
+		buf.WriteByte('\n')
+		buf.Write(rd.Seq)
+		buf.WriteString("\n+\n")
 		if rd.Qual != nil {
-			bw.Write(rd.Qual)
+			buf.Write(rd.Qual)
 		} else {
 			for range rd.Seq {
-				bw.WriteByte('I')
+				buf.WriteByte('I')
 			}
 		}
-		bw.WriteByte('\n')
+		buf.WriteByte('\n')
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

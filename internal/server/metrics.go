@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"sync/atomic"
@@ -38,46 +39,53 @@ func newMetrics() *metrics {
 // text exposition. The method check happens in the route wrapper (api.go).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.met
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "bwaserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
-	fmt.Fprintf(w, "bwaserve_workers %d\n", s.sched.Threads())
-	fmt.Fprintf(w, "bwaserve_batch_size %d\n", s.cfg.BatchSize)
-	fmt.Fprintf(w, "bwaserve_index_mmap %d\n", boolGauge(s.idxInfo.Mmap))
-	fmt.Fprintf(w, "bwaserve_index_load_seconds %.6f\n", s.idxInfo.LoadTime.Seconds())
-	fmt.Fprintf(w, "bwaserve_index_resident_bytes %d\n", s.idxInfo.ResidentBytes)
+	// Render the whole exposition into a buffer so the response goes out in
+	// one checked write instead of ~40 unchecked ones.
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "bwaserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(&buf, "bwaserve_workers %d\n", s.sched.Threads())
+	fmt.Fprintf(&buf, "bwaserve_batch_size %d\n", s.cfg.BatchSize)
+	fmt.Fprintf(&buf, "bwaserve_index_mmap %d\n", boolGauge(s.idxInfo.Mmap))
+	fmt.Fprintf(&buf, "bwaserve_index_load_seconds %.6f\n", s.idxInfo.LoadTime.Seconds())
+	fmt.Fprintf(&buf, "bwaserve_index_resident_bytes %d\n", s.idxInfo.ResidentBytes)
 	if s.idxInfo.Source != "" {
-		fmt.Fprintf(w, "bwaserve_index_source{source=%q} 1\n", s.idxInfo.Source)
+		fmt.Fprintf(&buf, "bwaserve_index_source{source=%q} 1\n", s.idxInfo.Source)
 	}
-	fmt.Fprintf(w, "bwaserve_requests_total{kind=%q} %d\n", "single", m.singleRequests.Load())
-	fmt.Fprintf(w, "bwaserve_requests_total{kind=%q} %d\n", "paired", m.pairedRequests.Load())
-	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "queue_full", m.rejectedFull.Load())
-	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "too_large", m.rejectedLarge.Load())
-	fmt.Fprintf(w, "bwaserve_requests_rejected_total{reason=%q} %d\n", "draining", m.rejectedDrain.Load())
-	fmt.Fprintf(w, "bwaserve_requests_bad_total %d\n", m.badRequests.Load())
-	fmt.Fprintf(w, "bwaserve_requests_cancelled_total %d\n", m.requestsCancelled.Load())
-	fmt.Fprintf(w, "bwaserve_reads_dropped_total %d\n", m.readsDropped.Load())
-	fmt.Fprintf(w, "bwaserve_reads_total %d\n", m.readsTotal.Load())
-	fmt.Fprintf(w, "bwaserve_reads_inflight %d\n", s.adm.InFlight())
-	fmt.Fprintf(w, "bwaserve_sam_bytes_total %d\n", m.samBytes.Load())
-	fmt.Fprintf(w, "bwaserve_batches_total %d\n", s.coal.batches.Load())
-	fmt.Fprintf(w, "bwaserve_partial_batches_total %d\n", s.coal.partialFlushes.Load())
-	fmt.Fprintf(w, "bwaserve_cache_enabled %d\n", boolGauge(s.cache != nil))
+	fmt.Fprintf(&buf, "bwaserve_requests_total{kind=%q} %d\n", "single", m.singleRequests.Load())
+	fmt.Fprintf(&buf, "bwaserve_requests_total{kind=%q} %d\n", "paired", m.pairedRequests.Load())
+	fmt.Fprintf(&buf, "bwaserve_requests_rejected_total{reason=%q} %d\n", "queue_full", m.rejectedFull.Load())
+	fmt.Fprintf(&buf, "bwaserve_requests_rejected_total{reason=%q} %d\n", "too_large", m.rejectedLarge.Load())
+	fmt.Fprintf(&buf, "bwaserve_requests_rejected_total{reason=%q} %d\n", "draining", m.rejectedDrain.Load())
+	fmt.Fprintf(&buf, "bwaserve_requests_bad_total %d\n", m.badRequests.Load())
+	fmt.Fprintf(&buf, "bwaserve_requests_cancelled_total %d\n", m.requestsCancelled.Load())
+	fmt.Fprintf(&buf, "bwaserve_reads_dropped_total %d\n", m.readsDropped.Load())
+	fmt.Fprintf(&buf, "bwaserve_reads_total %d\n", m.readsTotal.Load())
+	fmt.Fprintf(&buf, "bwaserve_reads_inflight %d\n", s.adm.InFlight())
+	fmt.Fprintf(&buf, "bwaserve_sam_bytes_total %d\n", m.samBytes.Load())
+	fmt.Fprintf(&buf, "bwaserve_batches_total %d\n", s.coal.batches.Load())
+	fmt.Fprintf(&buf, "bwaserve_partial_batches_total %d\n", s.coal.partialFlushes.Load())
+	fmt.Fprintf(&buf, "bwaserve_cache_enabled %d\n", boolGauge(s.cache != nil))
 	if s.cache != nil {
 		cs := s.cache.Stats()
-		fmt.Fprintf(w, "bwaserve_cache_hits_total %d\n", cs.Hits)
-		fmt.Fprintf(w, "bwaserve_cache_misses_total %d\n", cs.Misses)
-		fmt.Fprintf(w, "bwaserve_cache_coalesced_total %d\n", cs.Coalesced)
-		fmt.Fprintf(w, "bwaserve_cache_evictions_total %d\n", cs.Evictions)
-		fmt.Fprintf(w, "bwaserve_cache_entries %d\n", cs.Entries)
-		fmt.Fprintf(w, "bwaserve_cache_resident_bytes %d\n", cs.Bytes)
-		fmt.Fprintf(w, "bwaserve_cache_capacity_bytes %d\n", cs.Capacity)
+		fmt.Fprintf(&buf, "bwaserve_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(&buf, "bwaserve_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(&buf, "bwaserve_cache_coalesced_total %d\n", cs.Coalesced)
+		fmt.Fprintf(&buf, "bwaserve_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(&buf, "bwaserve_cache_entries %d\n", cs.Entries)
+		fmt.Fprintf(&buf, "bwaserve_cache_resident_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(&buf, "bwaserve_cache_capacity_bytes %d\n", cs.Capacity)
 	}
 	clock := s.sched.Clock()
-	clock.WriteMetrics(w, "bwaserve")
+	clock.WriteMetrics(&buf, "bwaserve")
 	// Latency histograms (request path, queue waits, per-stage kernel time)
 	// and Go runtime health gauges — see internal/obs and obs.go.
-	s.hists.write(w)
-	obs.WriteRuntimeMetrics(w, "bwaserve")
+	s.hists.write(&buf)
+	obs.WriteRuntimeMetrics(&buf, "bwaserve")
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return // scraper went away mid-response; nothing to salvage
+	}
 }
 
 // boolGauge renders a flag as a 0/1 Prometheus gauge value.
@@ -101,7 +109,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ref := s.sched.Aligner().Ref
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	fmt.Fprintf(w,
+	//bwalint:ignore streamerr probe body is best-effort once the status code is out
+	_, _ = fmt.Fprintf(w,
 		`{"status":%q,"uptime_seconds":%.3f,"reads_inflight":%d,"workers":%d,"mode":%q,"contigs":%d,"reference_bp":%d}`+"\n",
 		status, time.Since(s.met.start).Seconds(), s.adm.InFlight(),
 		s.sched.Threads(), s.cfg.Mode.String(), len(ref.Contigs), ref.Lpac())
