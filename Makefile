@@ -1,7 +1,9 @@
 GO ?= go
 BWALINT := bin/bwalint
 
-.PHONY: build test vet lint bwalint bwalint-path race serve demo bench bench-record clean
+.PHONY: build test vet lint bwalint bwalint-path race serve demo bench bench-record soak soak-record clean
+
+SOAK_DURATION ?= 30s
 
 build:
 	$(GO) build ./...
@@ -35,6 +37,12 @@ bench:
 
 bench-record: ## regenerate the committed kernel benchmark record
 	$(GO) run ./cmd/kernelbench -json > BENCH_kernels.json
+
+soak: ## sustained mixed-load run against an in-process server; fails on any violated invariant
+	$(GO) run ./cmd/bwasoak -duration $(SOAK_DURATION) -seed 1 > /dev/null
+
+soak-record: ## regenerate the committed soak record
+	$(GO) run ./cmd/bwasoak -duration $(SOAK_DURATION) -seed 1 -report BENCH_soak.json > /dev/null
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/seq"
+	"repro/internal/testutil"
 )
 
 // dupReads builds a duplicate-heavy read set: every read of base repeated
@@ -166,13 +167,7 @@ func TestCacheLeaderAbortRetries(t *testing.T) {
 
 	waitFor := func(what string, cond func() bool) {
 		t.Helper()
-		for i := 0; i < 400; i++ {
-			if cond() {
-				return
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		t.Fatalf("timeout waiting for %s", what)
+		testutil.WaitUntil(t, 2*time.Second, cond, "timeout waiting for %s", what)
 	}
 	waitFor("A to lead", func() bool { return s.cache.Stats().Misses == 1 })
 

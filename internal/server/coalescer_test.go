@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/pipeline"
+	"repro/internal/testutil"
 )
 
 // lingerTimerArmed snapshots whether a linger flush is pending.
@@ -31,12 +32,8 @@ func TestCoalescerStopsLingerTimerOnClose(t *testing.T) {
 		done <- c.Align(context.Background(), reads[:3], func(int, []byte) { emitted.Add(1) })
 	}()
 	// The sub-batch request arms the linger timer and parks.
-	for i := 0; !lingerTimerArmed(c); i++ {
-		if i > 10000 {
-			t.Fatal("linger timer never armed")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return lingerTimerArmed(c) },
+		"linger timer never armed")
 
 	c.Close() // flushes the parked partial batch and must stop the timer
 	if err := <-done; err != nil {
@@ -62,12 +59,8 @@ func TestCoalescerStopsLingerTimerOnDrain(t *testing.T) {
 	go func() {
 		done <- c.Align(context.Background(), reads[:2], func(int, []byte) {})
 	}()
-	for i := 0; !lingerTimerArmed(c); i++ {
-		if i > 10000 {
-			t.Fatal("linger timer never armed")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return lingerTimerArmed(c) },
+		"linger timer never armed")
 	c.SetDraining()
 	if err := <-done; err != nil {
 		t.Fatalf("parked Align after SetDraining: %v", err)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/pipeline"
 	"repro/internal/seq"
+	"repro/internal/testutil"
 )
 
 // Shared fixture: one synthetic reference + aligner + simulated reads,
@@ -364,6 +365,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	aln, reads, _, _ := setup(t)
 	cfg := testConfig()
 	cfg.Threads = 2
+	goroutines := testutil.Goroutines()
 	s, err := New(aln, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -380,9 +382,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	go func() { resCh <- post(s, "/align?header=0", "", fastqBody(big)) }()
 	// Bounded wait: if the request somehow finishes first, Shutdown still
 	// runs and every assertion below still holds.
-	for waited := 0; s.adm.InFlight() == 0 && waited < 10000; waited++ {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.Eventually(10*time.Second, func() bool { return s.adm.InFlight() > 0 })
 
 	// Shutdown must block until the in-flight request completes...
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -411,6 +411,9 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
+	// Shutdown tore down the scheduler workers and coalescer: nothing this
+	// server started may outlive it.
+	testutil.CheckGoroutines(t, goroutines, 2)
 }
 
 func TestShutdownFlushesLingeringPartialBatch(t *testing.T) {
@@ -427,9 +430,7 @@ func TestShutdownFlushesLingeringPartialBatch(t *testing.T) {
 	// window; Shutdown must flush it rather than waiting the hour.
 	resCh := make(chan *httptest.ResponseRecorder, 1)
 	go func() { resCh <- post(s, "/align?header=0", "", fastqBody(reads[:10])) }()
-	for waited := 0; s.adm.InFlight() == 0 && waited < 10000; waited++ {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.Eventually(10*time.Second, func() bool { return s.adm.InFlight() > 0 })
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {

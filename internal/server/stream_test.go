@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/seq"
+	"repro/internal/testutil"
 )
 
 // TestStreamedFirstByteBeforeCompletion is the streaming acceptance check:
@@ -112,13 +113,8 @@ func TestCancelledRequestReleasesBudget(t *testing.T) {
 	}()
 
 	// Wait until the request is admitted and parked.
-	deadline := time.Now().Add(10 * time.Second)
-	for s.adm.InFlight() != n {
-		if time.Now().After(deadline) {
-			t.Fatalf("request never admitted: inflight %d", s.adm.InFlight())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return s.adm.InFlight() == n },
+		"request never admitted")
 	cancel()
 	if err := <-errCh; err == nil {
 		t.Fatal("client Do returned nil error after cancellation")
@@ -126,12 +122,8 @@ func TestCancelledRequestReleasesBudget(t *testing.T) {
 
 	// The admission budget must free promptly — this is what lets the next
 	// request in instead of leaking capacity to a dead client.
-	for s.adm.InFlight() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("admission budget not released: inflight %d", s.adm.InFlight())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return s.adm.InFlight() == 0 },
+		"admission budget not released")
 	if got := scrapeMetric(t, ts.URL, "bwaserve_reads_dropped_total"); got != int64(n) {
 		t.Fatalf("reads_dropped_total = %d, want %d", got, n)
 	}
@@ -235,6 +227,66 @@ func TestRequestTimeoutPairedCountsDroppedReads(t *testing.T) {
 	}
 	if got := s.adm.InFlight(); got != 0 {
 		t.Fatalf("inflight = %d after deadline", got)
+	}
+}
+
+// TestPairedClientDisconnectReleasesBudget is the paired-end twin of
+// TestCancelledRequestReleasesBudget: a client that disconnects while its
+// pairs are mid-alignment must have its admission budget released and its
+// abandonment metered, and the capacity it held must be immediately
+// usable by the next request. Paired requests bypass the coalescer, so
+// the release path under test is the handler's own deferred Release — a
+// leak here would not show up in any single-end test.
+func TestPairedClientDisconnectReleasesBudget(t *testing.T) {
+	cfg := testConfig()
+	cfg.Threads = 1 // phase 1 on one worker: the request outlives the cancel
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	_, _, r1, r2 := setup(t)
+
+	inter := make([]seq.Read, 0, 20*2*len(r1)) // 4000 pairs on one worker
+	for rep := 0; rep < 20; rep++ {
+		for i := range r1 {
+			inter = append(inter, r1[i], r2[i])
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/align/paired?header=0", fastqBody(inter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return s.adm.InFlight() == len(inter) },
+		"paired request never admitted")
+	cancel()
+	<-errCh // transport error or truncated read; either way the client is gone
+
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return s.adm.InFlight() == 0 },
+		"paired admission budget not released after client disconnect")
+	if got := s.met.requestsCancelled.Load(); got != 1 {
+		t.Fatalf("requests_cancelled = %d, want 1", got)
+	}
+	dropped := s.met.readsDropped.Load()
+	if dropped <= 0 || dropped%2 != 0 {
+		t.Fatalf("reads_dropped = %d, want a positive even count (pairs count 2)", dropped)
+	}
+	// The freed budget must actually admit new work: a follow-up pair
+	// aligns end to end.
+	pair := []seq.Read{r1[0], r2[0]}
+	if w := post(s, "/align/paired?header=0", "", fastqBody(pair)); w.Code != http.StatusOK {
+		t.Fatalf("follow-up paired request after disconnect: status %d, body %.120s", w.Code, w.Body.String())
 	}
 }
 

@@ -1,0 +1,311 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/pkg/bwamem"
+)
+
+// localServer is the in-process target: pkg/bwamem.NewServer behind a
+// real TCP listener, so the soak exercises the same HTTP surface CI and
+// production see, without a subprocess.
+type localServer struct {
+	baseURL string
+	srv     *bwamem.Server
+	hs      *http.Server
+	ln      net.Listener
+
+	stopOnce sync.Once
+}
+
+func startLocalServer(o *Options, idx *bwamem.Index, logf func(string, ...any)) (*localServer, error) {
+	aln, err := bwamem.New(idx)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := bwamem.NewServer(aln, bwamem.ServerConfig{
+		Threads:            o.Threads,
+		BatchSize:          o.BatchSize,
+		MaxInFlightReads:   o.MaxInflight,
+		MaxReadsPerRequest: o.MaxRequestReads,
+		MaxReadLen:         o.MaxReadLen,
+		CacheEnabled:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	ls := &localServer{
+		baseURL: "http://" + ln.Addr().String(),
+		srv:     srv,
+		hs:      &http.Server{Handler: srv.Handler()},
+		ln:      ln,
+	}
+	go ls.hs.Serve(ln)
+	logf("soak: in-process server on %s (threads=%d batch=%d max-inflight=%d)",
+		ls.baseURL, o.Threads, o.BatchSize, o.MaxInflight)
+	return ls, nil
+}
+
+// drain is the clean-shutdown invariant: graceful Shutdown must complete
+// within the drain window once load has stopped.
+func (ls *localServer) drain() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ls.hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http server shutdown: %w", err)
+	}
+	if err := ls.srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("graceful drain: %w", err)
+	}
+	ls.stopOnce.Do(func() {}) // drained: stop() has nothing left to do
+	return nil
+}
+
+func (ls *localServer) stop() {
+	ls.stopOnce.Do(func() {
+		ls.hs.Close()
+		ls.srv.Close()
+	})
+}
+
+// childServer is the chaos target: a real bwaserve process this harness
+// can SIGKILL mid-traffic and restart on the same port.
+type childServer struct {
+	o    *Options
+	logf func(string, ...any)
+
+	bin     string
+	binDir  string // temp dir when we built the binary ourselves
+	addr    string
+	baseURL string
+
+	mu     sync.Mutex
+	cmd    *exec.Cmd
+	stderr *bytes.Buffer
+}
+
+// startChildServer resolves the bwaserve binary (building it from
+// ./cmd/bwaserve when -server-bin is empty, so run from the module root),
+// reserves a port, spawns the process, and waits for /v1/healthz.
+func startChildServer(ctx context.Context, o *Options, logf func(string, ...any)) (*childServer, error) {
+	c := &childServer{o: o, logf: logf, bin: o.ServerBin}
+	if c.bin == "" {
+		dir, err := os.MkdirTemp("", "bwasoak-*")
+		if err != nil {
+			return nil, err
+		}
+		c.binDir = dir
+		c.bin = filepath.Join(dir, "bwaserve")
+		logf("soak: building bwaserve for chaos mode")
+		cmd := exec.CommandContext(ctx, "go", "build", "-o", c.bin, "./cmd/bwaserve")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("soak: building bwaserve (run from the module root or pass -server-bin): %v\n%s", err, out)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.cleanup()
+		return nil, err
+	}
+	c.addr = ln.Addr().String()
+	c.baseURL = "http://" + c.addr
+	ln.Close() // free it for the child; the window for a steal is tiny and a steal fails loudly
+	if err := c.spawn(); err != nil {
+		c.cleanup()
+		return nil, err
+	}
+	if err := c.waitHealthy(ctx, 60*time.Second); err != nil {
+		c.stop()
+		return nil, fmt.Errorf("soak: bwaserve never became healthy: %w", err)
+	}
+	logf("soak: bwaserve subprocess on %s (pid %d)", c.baseURL, c.pid())
+	return c, nil
+}
+
+func (c *childServer) spawn() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stderr = &bytes.Buffer{}
+	cmd := exec.Command(c.bin,
+		"-addr", c.addr,
+		"-synthetic", strconv.Itoa(c.o.GenomeBP),
+		"-seed", strconv.FormatInt(c.o.GenomeSeed, 10),
+		"-t", strconv.Itoa(c.o.Threads),
+		"-batch", strconv.Itoa(c.o.BatchSize),
+		"-max-inflight", strconv.Itoa(c.o.MaxInflight),
+		"-max-request-reads", strconv.Itoa(c.o.MaxRequestReads),
+		"-max-read-len", strconv.Itoa(c.o.MaxReadLen),
+	)
+	cmd.Stdout = c.stderr
+	cmd.Stderr = c.stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("soak: starting %s: %w", c.bin, err)
+	}
+	c.cmd = cmd
+	return nil
+}
+
+func (c *childServer) pid() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cmd == nil || c.cmd.Process == nil {
+		return 0
+	}
+	return c.cmd.Process.Pid
+}
+
+// waitHealthy polls /v1/healthz until the child answers 200.
+func (c *childServer) waitHealthy(ctx context.Context, timeout time.Duration) error {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := hc.Get(c.baseURL + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			c.mu.Lock()
+			tail := c.stderr.String()
+			c.mu.Unlock()
+			if len(tail) > 2048 {
+				tail = tail[len(tail)-2048:]
+			}
+			if err == nil {
+				err = fmt.Errorf("healthz not OK")
+			}
+			return fmt.Errorf("%v; server output:\n%s", err, tail)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// kill is the chaos event: SIGKILL, no warning, mid-traffic.
+func (c *childServer) kill() error {
+	c.mu.Lock()
+	cmd := c.cmd
+	c.cmd = nil
+	c.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("no running server process")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait() // reap; a SIGKILL exit status is the expected outcome here
+	return nil
+}
+
+// restart brings the killed server back on the same port and waits for
+// it to pass health checks.
+func (c *childServer) restart(ctx context.Context) error {
+	if err := c.spawn(); err != nil {
+		return err
+	}
+	return c.waitHealthy(ctx, 60*time.Second)
+}
+
+// drain asks the child to shut down gracefully (SIGTERM) and requires a
+// clean exit within the drain window.
+func (c *childServer) drain() error {
+	c.mu.Lock()
+	cmd := c.cmd
+	c.cmd = nil
+	c.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("no running server process to drain")
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("bwaserve exited uncleanly on SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(45 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("bwaserve did not exit within 45s of SIGTERM")
+	}
+}
+
+func (c *childServer) stop() {
+	c.mu.Lock()
+	cmd := c.cmd
+	c.cmd = nil
+	c.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	c.cleanup()
+}
+
+func (c *childServer) cleanup() {
+	if c.binDir != "" {
+		os.RemoveAll(c.binDir)
+		c.binDir = ""
+	}
+}
+
+// chaos is the kill-restart controller: every ChaosInterval it opens a
+// chaos phase, SIGKILLs the child mid-traffic, restarts it on the same
+// port, waits for health, and opens the next steady phase. Workers keep
+// running throughout — their transport retries are the client-resilience
+// path under test.
+func (r *runner) chaos(ctx context.Context, child *childServer, deadline time.Time) {
+	for i := 1; ; i++ {
+		t := time.NewTimer(r.o.ChaosInterval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		// Leave room for recovery and a post-chaos steady window before
+		// the run's deadline.
+		if time.Until(deadline) < r.o.ChaosInterval/2+2*time.Second {
+			return
+		}
+		r.logf("soak: chaos %d: SIGKILL pid %d", i, child.pid())
+		r.beginPhase(fmt.Sprintf("chaos-%d", i))
+		if err := child.kill(); err != nil {
+			r.violate("chaos-restart", "kill: %v", err)
+			return
+		}
+		if err := child.restart(ctx); err != nil {
+			if ctx.Err() == nil {
+				r.violate("chaos-restart", "restart: %v", err)
+			}
+			return
+		}
+		r.logf("soak: chaos %d: restarted as pid %d", i, child.pid())
+		r.beginPhase(fmt.Sprintf("steady-%d", i))
+	}
+}

@@ -1,0 +1,157 @@
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/pipeline"
+	"repro/internal/seq"
+	"repro/pkg/bwaclient"
+	"repro/pkg/bwamem"
+)
+
+// Workload operation names — the keys of Report.Ops and the units of the
+// seeded mix. Success ops carry a precomputed pipeline oracle; rejection
+// ops carry the APIError code the server must answer with.
+const (
+	opSingle    = "single"      // duplicate-heavy single-end (rescache hot path)
+	opPaired    = "paired"      // paired-end batches
+	opSlow      = "slow-reader" // drains the SAM stream at a trickle
+	opCancel    = "cancel"      // abandons the request mid-flight
+	opOversize  = "oversize"    // more reads than the server's per-request cap
+	opMalformed = "malformed"   // invalid read (name/seq/qual policy)
+	opHealth    = "health"      // GET /v1/healthz poll
+	opMetrics   = "metrics"     // GET /v1/metrics poll
+)
+
+// template is one replayable request shape. Success templates (want set)
+// assert byte-identity against the offline pipeline oracle; rejection
+// templates (wantCode set) assert the typed error envelope.
+type template struct {
+	reads    []bwaclient.Read // single-end request
+	r1, r2   []bwaclient.Read // paired request (when non-nil)
+	want     []byte           // oracle SAM (header=0) for success templates
+	wantCode string           // expected APIError.Code for rejection templates
+}
+
+// workload is everything a run needs that derives deterministically from
+// (seed, genome, read length): the index the in-process server mounts and
+// the request templates with their oracles.
+type workload struct {
+	idx       *bwamem.Index
+	singles   []template
+	paireds   []template
+	oversize  template
+	malformed []template
+}
+
+// pool sizes: small enough that oracle precomputation is a startup blip,
+// large enough that the request mix touches distinct cache keys.
+const (
+	poolReads = 256
+	poolPairs = 96
+)
+
+// buildWorkload constructs the deterministic workload: a synthetic index,
+// simulated read pools, request templates sampled from them, and an
+// offline pipeline.Run / pipeline.RunPaired oracle answer per success
+// template. Every choice flows from o.Seed, so two runs with the same
+// options replay the same requests.
+func buildWorkload(o *Options) (*workload, error) {
+	idx, err := bwamem.Synthetic(o.GenomeBP, o.GenomeSeed)
+	if err != nil {
+		return nil, fmt.Errorf("soak: building synthetic index: %w", err)
+	}
+	reads, err := idx.SimulateReads(poolReads, o.ReadLen, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r1, r2, err := idx.SimulatePairs(poolPairs, o.ReadLen, o.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	// The oracle is the offline pipeline over the same reference — the
+	// same construction the byte-identity tests across the repo use.
+	ref, err := datasets.Genome(datasets.DefaultGenome("synthetic", o.GenomeBP, o.GenomeSeed))
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := core.NewAligner(ref, core.ModeOptimized, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pipeline.Config{Threads: o.Threads}
+
+	w := &workload{idx: idx}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	// Single-end templates, alternating duplicate-heavy (a handful of
+	// distinct sequences under many names — the rescache hot path) with
+	// spread-out ones.
+	for t := 0; t < 6; t++ {
+		n := 24 + rng.Intn(40)
+		distinct := n
+		if t%2 == 0 {
+			distinct = 4 + rng.Intn(4)
+		}
+		base := rng.Intn(poolReads)
+		tr := make([]bwaclient.Read, n)
+		for i := range tr {
+			src := reads[(base+i%distinct)%poolReads]
+			tr[i] = bwaclient.Read{Name: fmt.Sprintf("s%dx%d", t, i), Seq: src.Seq, Qual: src.Qual}
+		}
+		res := pipeline.Run(oracle, toSeqReads(tr), pcfg)
+		w.singles = append(w.singles, template{reads: tr, want: res.SAM})
+	}
+
+	// Paired templates: contiguous windows of the simulated pair pool
+	// (names stay as simulated — pair-name validation requires they match).
+	for t := 0; t < 4; t++ {
+		n := 12 + rng.Intn(24)
+		at := rng.Intn(poolPairs - n)
+		t1 := toClientReads(r1[at : at+n])
+		t2 := toClientReads(r2[at : at+n])
+		res := pipeline.RunPaired(oracle, toSeqReads(t1), toSeqReads(t2), pcfg)
+		w.paireds = append(w.paireds, template{r1: t1, r2: t2, want: res.SAM})
+	}
+
+	// Oversize: one read past the per-request cap must be rejected with
+	// the too_large envelope, mid-decode, regardless of load.
+	over := make([]bwaclient.Read, o.MaxRequestReads+1)
+	for i := range over {
+		over[i] = bwaclient.Read{Name: fmt.Sprintf("ov%d", i), Seq: reads[i%poolReads].Seq}
+	}
+	w.oversize = template{reads: over, wantCode: bwaclient.CodeTooLarge}
+
+	// Malformed bodies: each violates one rule of the input policy.
+	w.malformed = []template{
+		{reads: []bwaclient.Read{{Name: "bad\tname", Seq: []byte("ACGTACGT")}},
+			wantCode: bwaclient.CodeBadRequest},
+		{reads: []bwaclient.Read{{Name: "empty", Seq: nil}},
+			wantCode: bwaclient.CodeBadRequest},
+		{reads: []bwaclient.Read{{Name: "longread", Seq: []byte(strings.Repeat("A", o.MaxReadLen+1))}},
+			wantCode: bwaclient.CodeTooLarge},
+		{reads: []bwaclient.Read{{Name: "qualskew", Seq: []byte("ACGTACGT"), Qual: []byte("!!")}},
+			wantCode: bwaclient.CodeBadRequest},
+	}
+	return w, nil
+}
+
+func toClientReads(in []bwamem.Read) []bwaclient.Read {
+	out := make([]bwaclient.Read, len(in))
+	for i, r := range in {
+		out[i] = bwaclient.Read(r)
+	}
+	return out
+}
+
+func toSeqReads(in []bwaclient.Read) []seq.Read {
+	out := make([]seq.Read, len(in))
+	for i, r := range in {
+		out[i] = seq.Read(r)
+	}
+	return out
+}

@@ -190,23 +190,36 @@ func (c *Client) postAlign(ctx context.Context, path string, body []byte) (*SAMS
 // cap, and the caller's context remains the real bound.
 const maxRetryWait = 10 * time.Second
 
-// sleepRetry waits out a 429: the server's Retry-After when present
-// (capped at maxRetryWait), doubling 100ms backoff otherwise, aborted by
-// ctx.
-func sleepRetry(ctx context.Context, resp *http.Response, attempt int) error {
+// retryWait computes how long a 429 is waited out: the server's
+// Retry-After when present (capped at maxRetryWait), doubling 100ms
+// backoff otherwise.
+func retryWait(h http.Header, attempt int) time.Duration {
 	if attempt > 6 {
 		attempt = 6 // backoff saturates at 6.4s; larger shifts would overflow
 	}
 	wait := 100 * time.Millisecond << attempt
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
+	if ra := h.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			// Clamp before converting to a Duration: a hostile or broken
+			// "Retry-After: 9999999999999" multiplied into nanoseconds
+			// overflows negative, which a later cap comparison would wave
+			// through — and a negative timer fires immediately, turning
+			// backoff into a hot retry loop against an overloaded server.
+			if secs > int(maxRetryWait/time.Second) {
+				return maxRetryWait
+			}
 			wait = time.Duration(secs) * time.Second
 		}
 	}
 	if wait > maxRetryWait {
 		wait = maxRetryWait
 	}
-	t := time.NewTimer(wait)
+	return wait
+}
+
+// sleepRetry waits out a 429 for retryWait, aborted by ctx.
+func sleepRetry(ctx context.Context, resp *http.Response, attempt int) error {
+	t := time.NewTimer(retryWait(resp.Header, attempt))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,270 @@
+package bwaclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The fault-path tests run against stub servers, not a real aligner: the
+// contract under test is how the client decodes hostile transports —
+// reset connections, truncated chunked bodies, garbage headers — not what
+// correct SAM looks like.
+
+// TestConnectionResetMidStream: a server that dies after flushing part of
+// the response must surface as a stream error, never as a clean short
+// record set.
+func TestConnectionResetMidStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/x-sam")
+		fmt.Fprint(w, "r0\t4\t*\t0\t0\t*\t*\t0\t0\tA\t!\n")
+		fmt.Fprint(w, "r1\t4\t*\t0\t0\t*\t*\t0\t0\tA\t!\n")
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler) // server-side abort: RST, not EOF
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Align(context.Background(), []Read{{Name: "r", Seq: []byte("ACGT")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var records int
+	for st.Next() {
+		records++
+	}
+	if st.Err() == nil {
+		t.Fatalf("stream ended cleanly after a mid-stream connection reset (%d records)", records)
+	}
+	if records > 2 {
+		t.Fatalf("got %d records from a 2-record stream", records)
+	}
+}
+
+// TestTruncatedFinalChunk: a chunked response whose connection closes
+// without the terminating 0-length chunk is truncation. The partial final
+// line must not be delivered as a record and Err must be non-nil.
+func TestTruncatedFinalChunk(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, rw, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		rw.WriteString("HTTP/1.1 200 OK\r\nContent-Type: text/x-sam\r\nTransfer-Encoding: chunked\r\n\r\n")
+		body := "complete\t4\t*\t0\t0\t*\t*\t0\t0\tA\t!\ntruncated\t4\t*"
+		fmt.Fprintf(rw, "%x\r\n%s\r\n", len(body), body)
+		rw.Flush() // no terminal 0\r\n\r\n chunk: the connection just dies
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Align(context.Background(), []Read{{Name: "r", Seq: []byte("ACGT")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var lines []string
+	for st.Next() {
+		lines = append(lines, st.Text())
+	}
+	if st.Err() == nil {
+		t.Fatalf("truncated chunked response read as a clean stream: %q", lines)
+	}
+	for _, l := range lines {
+		if l == "truncated\t4\t*" {
+			t.Fatal("partial final line delivered as a complete record")
+		}
+	}
+}
+
+// TestCleanEOFMidRecord: even a well-formed transport close (correct
+// framing) whose body stops mid-record must report truncation — the
+// server newline-terminates every record it sends.
+func TestCleanEOFMidRecord(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := "complete\t4\t*\t0\t0\t*\t*\t0\t0\tA\t!\npartial\t4"
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		fmt.Fprint(w, body)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Align(context.Background(), []Read{{Name: "r", Seq: []byte("ACGT")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var records int
+	for st.Next() {
+		records++
+	}
+	if records != 1 {
+		t.Fatalf("delivered %d records, want 1 complete record", records)
+	}
+	if !errors.Is(st.Err(), errTruncatedRecord) {
+		t.Fatalf("Err() = %v, want errTruncatedRecord", st.Err())
+	}
+}
+
+// TestGarbageServerTiming: NaN, infinite, negative, overflowing, and
+// malformed dur attributes must decode to zero durations (or be skipped),
+// never to garbage Durations — time.Duration(NaN) is unspecified and a
+// 1e300ms value overflows the int64 nanosecond range.
+func TestGarbageServerTiming(t *testing.T) {
+	header := "parse;dur=NaN, admit;dur=Inf, classify;dur=-5, huge;dur=1e300, " +
+		"ok;dur=2.5, bare, ;dur=3, junk;;dur=abc"
+	got := parseServerTiming(header)
+	want := []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"parse", 0},
+		{"admit", 0},
+		{"classify", 0},
+		{"huge", 0},
+		{"ok", 2500 * time.Microsecond},
+		{"bare", 0},
+		{"junk", 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Name != w.name || got[i].Duration != w.dur {
+			t.Fatalf("entry %d = %q/%v, want %q/%v", i, got[i].Name, got[i].Duration, w.name, w.dur)
+		}
+		if got[i].Duration < 0 {
+			t.Fatalf("entry %d decoded to a negative duration %v", i, got[i].Duration)
+		}
+	}
+
+	// End to end: the header rides a real response without corrupting the
+	// stream handshake.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Server-Timing", header)
+		fmt.Fprint(w, "r\t4\t*\t0\t0\t*\t*\t0\t0\tA\t!\n")
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Align(context.Background(), []Read{{Name: "r", Seq: []byte("ACGT")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, e := range st.ServerTiming() {
+		if e.Duration < 0 {
+			t.Fatalf("ServerTiming entry %q = %v", e.Name, e.Duration)
+		}
+	}
+}
+
+// TestRetryWaitOverflow: a Retry-After whose second count overflows the
+// nanosecond multiplication must clamp to maxRetryWait, not wrap negative
+// (a negative timer fires immediately — the backoff becomes a hot loop).
+func TestRetryWaitOverflow(t *testing.T) {
+	hdr := func(ra string) http.Header {
+		h := http.Header{}
+		if ra != "" {
+			h.Set("Retry-After", ra)
+		}
+		return h
+	}
+	cases := []struct {
+		ra      string
+		attempt int
+		want    time.Duration
+	}{
+		{"9999999999999", 0, maxRetryWait}, // overflows secs * time.Second
+		{"86400", 0, maxRetryWait},         // merely huge
+		{"2", 0, 2 * time.Second},
+		{"0", 0, 0},
+		{"-3", 0, 100 * time.Millisecond}, // invalid: fall back to backoff
+		{"soon", 2, 400 * time.Millisecond},
+		{"", 0, 100 * time.Millisecond},
+		{"", 20, 6400 * time.Millisecond}, // backoff saturates
+	}
+	for _, c := range cases {
+		if got := retryWait(hdr(c.ra), c.attempt); got != c.want {
+			t.Errorf("retryWait(Retry-After=%q, attempt %d) = %v, want %v", c.ra, c.attempt, got, c.want)
+		}
+		if got := retryWait(hdr(c.ra), c.attempt); got < 0 {
+			t.Errorf("retryWait(Retry-After=%q) went negative: %v", c.ra, got)
+		}
+	}
+}
+
+// TestRetryAfterOverflowBlocksNotSpins is the end-to-end shape of the
+// overflow bug: against a server answering 429 with an absurd Retry-After,
+// the client must wait out the (capped) backoff — before the clamp it
+// retried instantly and burned its attempts in microseconds.
+func TestRetryAfterOverflowBlocksNotSpins(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "9999999999999")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"code": "overloaded", "message": "soak"}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, WithRetries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	_, err = c.Align(ctx, []Read{{Name: "r", Seq: []byte("ACGT")}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded (client should be parked in the capped wait)", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts inside the wait window, want 1 (hot retry loop)", n)
+	}
+}
+
+// TestTransportErrorIsNotAPIError: a connection that never yields a
+// response (dial failure) must come back as a plain transport error, not
+// a zero-valued *APIError — the soak harness's error taxonomy depends on
+// the distinction.
+func TestTransportErrorIsNotAPIError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // nothing listens here now
+	c, err := New("http://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Align(context.Background(), []Read{{Name: "r", Seq: []byte("ACGT")}})
+	if err == nil {
+		t.Fatal("Align against a dead address succeeded")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("transport failure decoded as *APIError: %v", err)
+	}
+}

@@ -2,7 +2,10 @@ package bwaclient
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -31,9 +34,36 @@ type SAMStream struct {
 func newSAMStream(resp *http.Response) *SAMStream {
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), maxSAMRecord)
+	sc.Split(scanSAMRecords)
 	return &SAMStream{body: resp.Body, sc: sc,
 		requestID: resp.Header.Get("X-Request-Id"),
 		timing:    parseServerTiming(resp.Header.Get("Server-Timing"))}
+}
+
+// errTruncatedRecord reports a response body that ended in the middle of
+// a record. The server terminates every record (header lines included)
+// with '\n', so a body whose last line has none was cut short in flight.
+var errTruncatedRecord = errors.New("bwaclient: response truncated mid-record")
+
+// scanSAMRecords is bufio.ScanLines with the truncation leniency removed:
+// ScanLines hands back an unterminated final line as a normal token, so a
+// response cut mid-record would deliver the fragment as if it were a
+// complete record before the stream error surfaced. Here a record only
+// exists once its newline does; leftover bytes at end of body are an
+// error (which does not displace an underlying transport error — the
+// scanner keeps the first).
+func scanSAMRecords(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line := data[:i]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		return i + 1, line, nil
+	}
+	if atEOF && len(data) > 0 {
+		return 0, nil, errTruncatedRecord
+	}
+	return 0, nil, nil
 }
 
 // TimingEntry is one phase of the server's Server-Timing response header:
@@ -51,9 +81,17 @@ type TimingEntry struct {
 // server's metrics and debug endpoints.
 func (s *SAMStream) ServerTiming() []TimingEntry { return s.timing }
 
+// maxTimingMS bounds a Server-Timing dur attribute to what a
+// time.Duration can carry: anything larger (or non-finite) came from a
+// broken intermediary, and converting it would overflow — or, for NaN,
+// produce an unspecified Duration.
+const maxTimingMS = float64(int64(^uint64(0)>>1) / int64(time.Millisecond))
+
 // parseServerTiming decodes a Server-Timing header value: comma-separated
 // "name;dur=<milliseconds>" entries. Entries without a parseable dur
-// attribute are kept with zero duration; malformed fragments are skipped.
+// attribute — including NaN, infinities, negative values, and magnitudes
+// a time.Duration cannot represent — are kept with zero duration;
+// malformed fragments are skipped.
 func parseServerTiming(h string) []TimingEntry {
 	if h == "" {
 		return nil
@@ -69,7 +107,8 @@ func parseServerTiming(h string) []TimingEntry {
 		for _, attr := range parts[1:] {
 			attr = strings.TrimSpace(attr)
 			if v, ok := strings.CutPrefix(attr, "dur="); ok {
-				if ms, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				ms, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err == nil && !math.IsNaN(ms) && ms >= 0 && ms <= maxTimingMS {
 					te.Duration = time.Duration(ms * float64(time.Millisecond))
 				}
 			}
@@ -104,7 +143,9 @@ func (s *SAMStream) Text() string { return s.sc.Text() }
 // end of response). A response truncated by a mid-stream cancellation or
 // deadline on the server aborts the connection (the server never ends an
 // incomplete stream cleanly), so truncation surfaces here as a transport
-// error rather than a silent short record set.
+// error rather than a silent short record set; a body that ends cleanly
+// but mid-record (every server record is newline-terminated) reports a
+// truncation error, and the fragment is never delivered as a record.
 func (s *SAMStream) Err() error { return s.err }
 
 // RequestID returns the X-Request-Id the server assigned this response.

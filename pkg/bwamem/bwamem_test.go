@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/pipeline"
+	"repro/internal/testutil"
 )
 
 // Shared fixture: one synthetic index + reads, built once (index
@@ -236,8 +237,12 @@ func TestAlignPairedUnequalLists(t *testing.T) {
 
 func TestAlignAfterCloseFails(t *testing.T) {
 	idx, reads, _, _ := setup(t)
-	aln, err := New(idx, WithThreads(1))
+	goroutines := testutil.Goroutines()
+	aln, err := New(idx, WithThreads(4))
 	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aln.AlignSAM(context.Background(), reads[:4]); err != nil {
 		t.Fatal(err)
 	}
 	aln.Close()
@@ -245,6 +250,8 @@ func TestAlignAfterCloseFails(t *testing.T) {
 	if err := aln.Align(context.Background(), reads[:1], func(int, []byte) {}); err == nil {
 		t.Fatal("Align succeeded on a closed aligner")
 	}
+	// Close stops the scheduler's workers: none of them may survive it.
+	testutil.CheckGoroutines(t, goroutines, 2)
 }
 
 func TestFastqRoundTrip(t *testing.T) {
