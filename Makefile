@@ -1,7 +1,7 @@
 GO ?= go
 BWALINT := bin/bwalint
 
-.PHONY: build test vet lint bwalint bwalint-path race serve demo bench bench-record soak soak-record clean
+.PHONY: build test vet lint lint-fix lint-fix-dry bwalint bwalint-path race serve demo bench bench-record soak soak-record clean
 
 SOAK_DURATION ?= 30s
 
@@ -20,8 +20,14 @@ bwalint: ## build the repo's own static analyzers (cmd/bwalint)
 bwalint-path: bwalint ## print the built bwalint path (for go vet -vettool=$$(make -s bwalint-path))
 	@echo $(CURDIR)/$(BWALINT)
 
-lint: bwalint ## run the bwalint contract analyzers over the whole module
-	$(GO) vet -vettool=$(CURDIR)/$(BWALINT) ./...
+lint: bwalint ## run the bwalint contract analyzers over the whole module (ratcheted against lint.baseline.json)
+	$(GO) vet -vettool=$(CURDIR)/$(BWALINT) -baseline=$(CURDIR)/lint.baseline.json ./...
+
+lint-fix: bwalint ## apply bwalint's mechanical SuggestedFixes in place
+	$(CURDIR)/$(BWALINT) -baseline=$(CURDIR)/lint.baseline.json -fix ./...
+
+lint-fix-dry: bwalint ## print bwalint's mechanical SuggestedFixes as a diff without applying
+	$(CURDIR)/$(BWALINT) -baseline=$(CURDIR)/lint.baseline.json -diff ./... || true
 
 race:
 	$(GO) test -race ./...

@@ -1,12 +1,18 @@
 // Command bwalint machine-enforces the repo's prose contracts: the
 // MappedIndex read-only aliasing rule, request-context plumbing, the
-// pkg/ facade boundary, atomic-counter access discipline, and checked
-// stream-write errors.
+// pkg/ facade boundary, atomic-counter access discipline, checked
+// stream-write errors, request-scoped goroutine lifetimes, a global
+// mutex acquisition order, and allocation discipline in
+// //bwalint:hot-annotated kernels.
 //
 // It runs two ways:
 //
 //	bwalint ./...                                # standalone, from source
 //	go vet -vettool=$(command -v bwalint) ./...  # as a vet tool (make lint)
+//
+// Findings ratchet against lint.baseline.json (-baseline): entries
+// listed there are tolerated, anything new fails, and entries that no
+// longer fire are themselves errors until pruned (-update-baseline).
 //
 // Suppress a finding with an annotated directive on (or right above) the
 // line: //bwalint:ignore <analyzer> <reason>.
@@ -14,19 +20,9 @@ package main
 
 import (
 	"repro/internal/analysis"
-	"repro/internal/analysis/atomicfield"
-	"repro/internal/analysis/boundary"
-	"repro/internal/analysis/ctxflow"
-	"repro/internal/analysis/mmapalias"
-	"repro/internal/analysis/streamerr"
+	"repro/internal/analysis/suite"
 )
 
 func main() {
-	analysis.Main(
-		mmapalias.Analyzer,
-		ctxflow.Analyzer,
-		boundary.Analyzer,
-		atomicfield.Analyzer,
-		streamerr.Analyzer,
-	)
+	analysis.Main(suite.Analyzers()...)
 }

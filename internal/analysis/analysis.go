@@ -36,6 +36,11 @@ type Analyzer struct {
 	// Flags holds analyzer-specific options; the driver exposes each
 	// flag as -<name>.<flag>. May be nil.
 	Flags *flag.FlagSet
+	// FactTypes lists prototype values of every Fact type the analyzer
+	// exports. Non-empty FactTypes opt the analyzer into interprocedural
+	// propagation: drivers run it over the dependency closure (facts
+	// only), not just the requested packages.
+	FactTypes []Fact
 	// Run performs the check on one package, reporting findings
 	// through the pass.
 	Run func(*Pass) error
@@ -70,6 +75,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *FactSet
 	diags []Diagnostic
 }
 
@@ -95,6 +101,13 @@ type Unit struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Facts is the cross-package fact store shared by every unit of a
+	// driver run. Nil means facts are unit-local (analyzer unit tests).
+	Facts *FactSet
+	// Std marks a standard-library dependency unit: drivers skip fact
+	// computation there (the suite's contracts are module-internal).
+	Std bool
+
 	sup *suppressions
 }
 
@@ -109,6 +122,7 @@ func (u *Unit) Run(a *Analyzer) ([]Diagnostic, error) {
 		Files:     u.Files,
 		Pkg:       u.Pkg,
 		TypesInfo: u.Info,
+		facts:     u.Facts,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, err
@@ -126,6 +140,25 @@ func (u *Unit) Run(a *Analyzer) ([]Diagnostic, error) {
 	return kept, nil
 }
 
+// RunFacts applies a to the unit for its fact side effects only: exports
+// land in u.Facts, diagnostics are discarded. Drivers use this over
+// dependency units so interprocedural analyzers see summaries for code
+// outside the requested packages.
+func (u *Unit) RunFacts(a *Analyzer) error {
+	if len(a.FactTypes) == 0 {
+		return nil
+	}
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.Info,
+		facts:     u.Facts,
+	}
+	return a.Run(pass)
+}
+
 // DirectiveDiagnostics reports malformed `//bwalint:ignore` directives
 // (ones missing an analyzer name or a reason). Such directives suppress
 // nothing, so an undocumented escape hatch surfaces as a finding instead
@@ -137,17 +170,59 @@ func (u *Unit) DirectiveDiagnostics() []Diagnostic {
 	return u.sup.malformed
 }
 
+// UnusedDirectiveDiagnostics reports ignore directives that did nothing:
+// ones naming an analyzer not in the suite (known, plus "all"), and ones
+// whose named analyzer produced no finding on the covered lines. A dead
+// directive is an audit gap — the contract it excused is either enforced
+// again or was never exercised — so the multichecker treats it like any
+// other finding. Valid only after every analyzer has run on the unit;
+// directives in _test.go files are exempt (analyzers skip test files).
+func (u *Unit) UnusedDirectiveDiagnostics(known map[string]bool) []Diagnostic {
+	if u.sup == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, d := range u.sup.directives {
+		if d.inTest {
+			continue
+		}
+		switch {
+		case d.name != "all" && !known[d.name]:
+			diags = append(diags, Diagnostic{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("ignore directive names unknown analyzer %q", d.name),
+			})
+		case !d.used:
+			diags = append(diags, Diagnostic{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("unused ignore directive: %s reports nothing on this line; remove the stale escape hatch", d.name),
+			})
+		}
+	}
+	return diags
+}
+
 const ignorePrefix = "//bwalint:ignore"
+
+// directive is one analyzer name of one well-formed ignore directive
+// ("a,b" directives produce two records sharing a position).
+type directive struct {
+	pos    token.Pos
+	name   string
+	used   bool
+	inTest bool
+}
 
 // suppressions indexes the well-formed ignore directives of a package.
 type suppressions struct {
-	// byLine maps filename:line to the analyzer names suppressed there.
-	byLine    map[string][]string
-	malformed []Diagnostic
+	// byLine maps filename:line to the directives suppressing there.
+	byLine     map[string][]*directive
+	directives []*directive
+	malformed  []Diagnostic
 }
 
 func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
-	s := &suppressions{byLine: make(map[string][]string)}
+	s := &suppressions{byLine: make(map[string][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -166,12 +241,16 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				names := strings.Split(fields[0], ",")
-				// The directive covers its own line and, for
-				// standalone comment lines, the line below.
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := lineKey(pos.Filename, line)
-					s.byLine[key] = append(s.byLine[key], names...)
+				inTest := strings.HasSuffix(pos.Filename, "_test.go")
+				for _, name := range strings.Split(fields[0], ",") {
+					d := &directive{pos: c.Pos(), name: name, inTest: inTest}
+					s.directives = append(s.directives, d)
+					// The directive covers its own line and, for
+					// standalone comment lines, the line below.
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := lineKey(pos.Filename, line)
+						s.byLine[key] = append(s.byLine[key], d)
+					}
 				}
 			}
 		}
@@ -180,12 +259,14 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 }
 
 func (s *suppressions) covers(analyzer string, pos token.Position) bool {
-	for _, name := range s.byLine[lineKey(pos.Filename, pos.Line)] {
-		if name == analyzer || name == "all" {
-			return true
+	hit := false
+	for _, d := range s.byLine[lineKey(pos.Filename, pos.Line)] {
+		if d.name == analyzer || d.name == "all" {
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BaselineSchema identifies the on-disk baseline format.
+const BaselineSchema = "bwalint-baseline/v1"
+
+// A BaselineEntry tolerates one existing finding: same file (module-root
+// relative), same analyzer, same message hash. Line numbers are not part
+// of the identity, so unrelated edits that move a finding do not fire the
+// ratchet. Every committed entry must carry a reviewed justification.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Hash     string `json:"hash"`
+	Message  string `json:"message"` // for humans; the hash is authoritative
+	Reason   string `json:"reason"`
+}
+
+type baselineFile struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// A Baseline is the ratchet: findings matching an entry are tolerated,
+// any other finding fails, and an entry matching nothing is itself stale
+// (the finding was fixed — the baseline must shrink with it).
+type Baseline struct {
+	Entries []BaselineEntry
+	used    []bool
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: the
+// ratchet must never silently run without its reference point.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("decoding baseline %s: %v", path, err)
+	}
+	if f.Schema != BaselineSchema {
+		return nil, fmt.Errorf("baseline %s: schema %q, want %q", path, f.Schema, BaselineSchema)
+	}
+	return &Baseline{Entries: f.Entries, used: make([]bool, len(f.Entries))}, nil
+}
+
+// Match reports whether a finding is tolerated by the baseline, marking
+// the matching entry as live.
+func (b *Baseline) Match(file, analyzer, message string) bool {
+	if b == nil {
+		return false
+	}
+	h := HashMessage(message)
+	for i, e := range b.Entries {
+		if e.File == file && e.Analyzer == analyzer && e.Hash == h {
+			b.used[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Stale returns the entries no finding matched, restricted to files for
+// which the caller actually has findings visibility (inFiles nil means
+// every entry is in scope — the standalone driver saw the whole module;
+// the per-package vettool driver passes the unit's own files so entries
+// for other packages are left to their own units).
+func (b *Baseline) Stale(inFiles map[string]bool) []BaselineEntry {
+	if b == nil {
+		return nil
+	}
+	var stale []BaselineEntry
+	for i, e := range b.Entries {
+		if b.used[i] {
+			continue
+		}
+		if inFiles != nil && !inFiles[e.File] {
+			continue
+		}
+		stale = append(stale, e)
+	}
+	return stale
+}
+
+// WriteBaseline writes entries (sorted, deduplicated) as a baseline file.
+func WriteBaseline(path string, entries []BaselineEntry) error {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Hash < b.Hash
+	})
+	dedup := entries[:0]
+	for i, e := range entries {
+		if i == 0 || e != entries[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	data, err := json.MarshalIndent(baselineFile{Schema: BaselineSchema, Entries: dedup}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// HashMessage is the message identity used by baseline entries.
+func HashMessage(message string) string {
+	sum := sha256.Sum256([]byte(message))
+	return hex.EncodeToString(sum[:6])
+}
+
+var (
+	modRootMu    sync.Mutex
+	modRootCache = map[string]string{}
+)
+
+// ModuleRelative rewrites an absolute filename relative to its module
+// root (the nearest go.mod upward), with forward slashes — the stable
+// form baseline entries use so both drivers agree regardless of working
+// directory. Files outside any module are returned unchanged.
+func ModuleRelative(filename string) string {
+	dir := filepath.Dir(filename)
+	modRootMu.Lock()
+	root, ok := modRootCache[dir]
+	modRootMu.Unlock()
+	if !ok {
+		for d := dir; ; {
+			if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+				root = d
+				break
+			}
+			parent := filepath.Dir(d)
+			if parent == d {
+				break
+			}
+			d = parent
+		}
+		modRootMu.Lock()
+		modRootCache[dir] = root
+		modRootMu.Unlock()
+	}
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// moduleName returns the module path declared by the nearest go.mod above
+// dir ("" when there is none). The unitchecker uses it to recognize
+// standard-library units ("std", "cmd") and skip fact computation there.
+func moduleName(dir string) string {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest)
+				}
+			}
+			return ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallGraph is the static, package-level call graph: one node per
+// function declared in the package, with an edge per syntactic call whose
+// callee resolves to a named function or method (same package or
+// imported). Dynamic calls through function values and interface methods
+// have no edges — analyzers built on it must treat absence of an edge as
+// "unknown", not "no call".
+type CallGraph struct {
+	// Nodes maps each declared function to its node, and is also keyed
+	// by any callee *types.Func so CalleeDecl lookups stay O(1).
+	Nodes map[*types.Func]*CallNode
+	// Order lists the nodes in declaration order — analyzers that emit
+	// facts or diagnostics while traversing the graph must iterate this,
+	// not the map, for deterministic output.
+	Order []*CallNode
+}
+
+// CallNode is one declared function and its outgoing static calls.
+type CallNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []CallSite
+}
+
+// CallSite is one static call: the resolved callee and where it happens.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// BuildCallGraph indexes every function declared in the pass's package
+// (skipping test files, matching the suite's analyzer scope).
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*CallNode)}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := StaticCallee(pass.TypesInfo, call); callee != nil {
+					node.Calls = append(node.Calls, CallSite{Callee: callee, Pos: call.Pos()})
+				}
+				return true
+			})
+			g.Nodes[fn] = node
+			g.Order = append(g.Order, node)
+		}
+	}
+	return g
+}
+
+// DeclOf returns the package-local declaration of fn, nil for functions
+// declared elsewhere.
+func (g *CallGraph) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if n, ok := g.Nodes[fn]; ok {
+		return n.Decl
+	}
+	return nil
+}
+
+// StaticCallee resolves a call expression to the named function or
+// method it statically invokes, nil for dynamic calls, conversions, and
+// builtins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, okF := sel.Obj().(*types.Func); okF {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier (pkg.Func).
+		fn, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}

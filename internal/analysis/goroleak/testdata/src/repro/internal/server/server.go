@@ -1,0 +1,140 @@
+// Package server models the repo's real request-path spawn idioms
+// (samStreamer writer, coalescer close handoff, render offload,
+// scheduler workers): none of them may be reported. The findings section
+// holds the leaks the analyzer exists for.
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/util"
+)
+
+type streamer struct {
+	notify chan struct{}
+	wg     sync.WaitGroup
+	next   int
+}
+
+// newStreamer is the samStreamer idiom: the writer goroutine is joined
+// through wg and parks on notify inside its loop.
+func newStreamer() *streamer {
+	st := &streamer{notify: make(chan struct{}, 1)}
+	st.wg.Add(1)
+	go st.writeLoop()
+	return st
+}
+
+func (st *streamer) writeLoop() {
+	defer st.wg.Done()
+	for {
+		if st.next < 0 {
+			return
+		}
+		<-st.notify
+	}
+}
+
+// waitAll is the coalescer.waitReads idiom: the helper goroutine closes
+// done, which this function receives from (close handoff).
+func waitAll(ctx context.Context, wg *sync.WaitGroup) error {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		<-done
+		return ctx.Err()
+	}
+}
+
+// offload is the renderSlots idiom: the goroutine's boundedness (wg.Done
+// inside render) is only reachable through a local func binding.
+func offload(slots chan struct{}, wg *sync.WaitGroup, work func()) {
+	render := func() {
+		work()
+		wg.Done()
+	}
+	select {
+	case slots <- struct{}{}:
+		go func() {
+			defer func() { <-slots }()
+			render()
+		}()
+	default:
+		render()
+	}
+}
+
+// startWorkers is the scheduler idiom: each worker is wg-joined and
+// drains tasks until close.
+func startWorkers(tasks chan func(), wg *sync.WaitGroup) {
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				t()
+			}
+		}()
+	}
+}
+
+// watch exits when ctx ends.
+func watch(ctx context.Context, reload chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-reload:
+			}
+		}
+	}()
+}
+
+// consume spawns a cross-package body whose summary fact says it is
+// bounded (Drain ranges over its channel).
+func consume(ch chan int) {
+	go util.Drain(ch)
+}
+
+// --- findings ---
+
+func leakyTimer(update func()) {
+	go func() { // want `goroutine may outlive the request`
+		for {
+			update()
+		}
+	}()
+}
+
+func spawnArg(f func()) {
+	go f() // want `goroutine may outlive the request`
+}
+
+func viaHelper() {
+	go pollForever() // want `goroutine may outlive the request`
+}
+
+func pollForever() {
+	for {
+		_ = 0
+	}
+}
+
+func callsUtil(stop chan struct{}) {
+	util.LeakyTick() // want `util\.LeakyTick starts a goroutine that may outlive the request \(unbounded spawn in util\.LeakyTick\)`
+	util.SpawnWorker(func() {
+		for range stop {
+		}
+	})
+	util.SpawnWorker(func() { // want `util\.SpawnWorker starts a goroutine that may outlive the request \(unbounded spawn in util\.SpawnWorker\)`
+		pollForever()
+	})
+}

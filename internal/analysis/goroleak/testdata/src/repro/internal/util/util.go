@@ -1,0 +1,25 @@
+// Package util is an unscoped helper package: goroleak reports nothing
+// here, but its summaries travel to request-path importers as facts.
+package util
+
+// SpawnWorker runs f on its own goroutine. The body is caller-supplied,
+// so the summary marks SpawnWorker as an unbounded spawner; call sites
+// that hand it a bounded body are not reported.
+func SpawnWorker(f func()) {
+	go f()
+}
+
+// LeakyTick loops forever on a goroutine nothing joins or cancels.
+func LeakyTick() {
+	go func() {
+		for {
+			_ = 0
+		}
+	}()
+}
+
+// Drain consumes ch until it closes: a bounded goroutine body.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}

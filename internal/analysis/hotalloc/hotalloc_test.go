@@ -1,0 +1,46 @@
+package hotalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	results := analysistest.Run(t, "testdata", hotalloc.Analyzer, "repro/internal/kern")
+
+	// The zero-capacity append in classify must carry the mechanical
+	// preallocation rewrite.
+	var found bool
+	for _, res := range results {
+		for _, d := range res.Diags {
+			if !strings.Contains(d.Message, "append grows hot") {
+				continue
+			}
+			found = true
+			if len(d.SuggestedFixes) != 1 {
+				t.Fatalf("append diagnostic has %d fixes, want 1", len(d.SuggestedFixes))
+			}
+			fix := d.SuggestedFixes[0]
+			if len(fix.TextEdits) != 1 {
+				t.Fatalf("fix has %d edits, want 1", len(fix.TextEdits))
+			}
+			got := string(fix.TextEdits[0].NewText)
+			want := "hot := make([]int, 0, len(items))"
+			if got != want {
+				t.Errorf("fix text = %q, want %q", got, want)
+			}
+		}
+	}
+	if !found {
+		t.Error("no append-growth diagnostic found")
+	}
+}
+
+// TestKernelIdiomsClean mirrors the repo's real kernels: preallocated
+// classifier slices and resliced scratch buffers stay quiet.
+func TestKernelIdiomsClean(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "repro/internal/bsw")
+}

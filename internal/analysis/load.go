@@ -36,14 +36,18 @@ type loader struct {
 	list     map[string]*listPackage
 	pkgs     map[string]*types.Package
 	units    map[string]*Unit
+	order    []*Unit         // every checked unit, dependencies first
 	checking map[string]bool // import-cycle guard
 }
 
 // Load enumerates patterns with `go list` in dir and returns a Unit per
-// matched package, type-checked from source in dependency order. It is
-// the standalone driver's front end; `go vet -vettool` mode bypasses it
-// and uses compiler export data instead (see unitchecker.go).
-func Load(dir string, patterns []string) ([]*Unit, error) {
+// matched package, type-checked from source in dependency order, plus
+// the full dependency closure (all) in topological order — fact-producing
+// analyzers run over that closure so interprocedural summaries exist for
+// helpers outside the requested packages. It is the standalone driver's
+// front end; `go vet -vettool` mode bypasses it and uses compiler export
+// data instead (see unitchecker.go).
+func Load(dir string, patterns []string) (targets, all []*Unit, err error) {
 	args := append([]string{"list", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -54,7 +58,7 @@ func Load(dir string, patterns []string) ([]*Unit, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
 
 	l := &loader{
@@ -64,32 +68,31 @@ func Load(dir string, patterns []string) ([]*Unit, error) {
 		units:    make(map[string]*Unit),
 		checking: make(map[string]bool),
 	}
-	var targets []*listPackage
+	var targetList []*listPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		lp := new(listPackage)
 		if err := dec.Decode(lp); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %v", err)
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
 		}
 		if lp.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
 		l.list[lp.ImportPath] = lp
 		if !lp.DepOnly {
-			targets = append(targets, lp)
+			targetList = append(targetList, lp)
 		}
 	}
 
-	var units []*Unit
-	for _, lp := range targets {
+	for _, lp := range targetList {
 		if _, err := l.check(lp.ImportPath); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		units = append(units, l.units[lp.ImportPath])
+		targets = append(targets, l.units[lp.ImportPath])
 	}
-	return units, nil
+	return targets, l.order, nil
 }
 
 func (l *loader) check(path string) (*types.Package, error) {
@@ -140,7 +143,9 @@ func (l *loader) check(path string) (*types.Package, error) {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)
 	}
 	l.pkgs[path] = pkg
-	l.units[path] = &Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	unit := &Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info, Std: lp.Standard}
+	l.units[path] = unit
+	l.order = append(l.order, unit)
 	return pkg, nil
 }
 

@@ -1,0 +1,465 @@
+// Package lockorder builds a global mutex-acquisition-order graph and
+// reports cycles — the static shadow of the deadlocks the soak harness
+// hunts dynamically. Locks are identified by their declaration site
+// ("pkg.Type.field" for named mutex fields, "pkg.var" for package-level
+// mutexes), so every instance of a type shares one node: ordering is a
+// property of the code, not of individual objects.
+//
+// Within a function the analyzer tracks the set of held locks
+// statement-by-statement (branch bodies see a copy; a deferred Unlock
+// keeps the lock held to the end, which is the repo's idiom). Acquiring
+// B while holding A adds edge A→B; calling a function whose summary says
+// it acquires B adds the same edge, so nesting through helpers and other
+// packages is visible. Per-function acquisition summaries and
+// per-package edge lists propagate as facts, and each package reports
+// only cycles one of its own edges participates in — a cycle spanning
+// packages is reported once per package that contributes to it, each
+// time with the full reverse path.
+//
+// Same-key edges (two instances of one lock class, e.g. two cache
+// shards) are deliberately ignored: instance order within a class is
+// index-discipline the type system cannot see, and flagging every
+// shard-pair walk would be noise.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Acquires is the per-function fact: the lock classes a call to the
+// function may (transitively) acquire.
+type Acquires struct {
+	Keys []string `json:"keys"`
+}
+
+// AFact marks Acquires as a fact type.
+func (*Acquires) AFact() {}
+
+// An Edge is one observed ordering: To was acquired while From was held.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Fn   string `json:"fn"`  // function containing the acquisition
+	Pos  string `json:"pos"` // module-relative file:line
+}
+
+// Edges is the per-package fact: every ordering edge the package's code
+// creates.
+type Edges struct {
+	List []Edge `json:"list"`
+}
+
+// AFact marks Edges as a fact type.
+func (*Edges) AFact() {}
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "report cycles in the global mutex acquisition order (A held while locking B in one path, B held while locking A in another)",
+	FactTypes: []analysis.Fact{(*Acquires)(nil), (*Edges)(nil)},
+	Run:       run,
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	graph   *analysis.CallGraph
+	direct  map[*types.Func]map[string]bool // keys locked syntactically in the body
+	acq     map[*types.Func]map[string]bool // transitive closure
+	edges   []Edge
+	edgeSet map[[2]string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		graph:   analysis.BuildCallGraph(pass),
+		direct:  make(map[*types.Func]map[string]bool),
+		acq:     make(map[*types.Func]map[string]bool),
+		edgeSet: make(map[[2]string]bool),
+	}
+
+	for _, node := range c.graph.Order {
+		c.direct[node.Fn] = c.directAcquires(node.Decl.Body)
+		c.acq[node.Fn] = copySet(c.direct[node.Fn])
+	}
+	// Transitive acquires: a function acquires what its callees acquire.
+	for changed := true; changed; {
+		changed = false
+		for _, node := range c.graph.Order {
+			for _, call := range node.Calls {
+				for k := range c.calleeAcquires(call.Callee) {
+					if !c.acq[node.Fn][k] {
+						c.acq[node.Fn][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, node := range c.graph.Order {
+		c.walkStmts(node.Fn, node.Decl.Body.List, map[string]token.Pos{})
+	}
+
+	for _, node := range c.graph.Order {
+		if len(c.acq[node.Fn]) == 0 {
+			continue
+		}
+		pass.ExportObjectFact(node.Fn, &Acquires{Keys: sortedKeys(c.acq[node.Fn])})
+	}
+	pass.ExportPackageFact(&Edges{List: c.edges})
+
+	c.reportCycles()
+	return nil
+}
+
+// reportCycles looks for a path back from each own edge's target to its
+// source across the union of every package's edges.
+func (c *checker) reportCycles() {
+	adj := make(map[string][]Edge)
+	for _, fact := range c.pass.AllPackageFacts((*Edges)(nil)) {
+		for _, e := range fact.(*Edges).List {
+			adj[e.From] = append(adj[e.From], e)
+		}
+	}
+	for from := range adj {
+		sort.Slice(adj[from], func(i, j int) bool {
+			a, b := adj[from][i], adj[from][j]
+			return a.To < b.To || (a.To == b.To && a.Pos < b.Pos)
+		})
+	}
+	reported := make(map[[2]string]bool)
+	for _, own := range c.edges {
+		pair := [2]string{own.From, own.To}
+		if reported[pair] || reported[[2]string{own.To, own.From}] {
+			continue
+		}
+		path := findPath(adj, own.To, own.From, nil, map[string]bool{})
+		if path == nil {
+			continue
+		}
+		reported[pair] = true
+		var steps []string
+		for _, e := range path {
+			steps = append(steps, fmt.Sprintf("%s -> %s in %s (%s)", short(e.From), short(e.To), e.Fn, e.Pos))
+		}
+		pos := c.ownPos(own)
+		c.pass.Reportf(pos, "lock order cycle: %s acquired while holding %s, but the reverse order exists: %s",
+			short(own.To), short(own.From), strings.Join(steps, ", then "))
+	}
+}
+
+// ownPos recovers the token.Pos of an own-package edge from its recorded
+// position string (edges carry strings so they can cross processes).
+func (c *checker) ownPos(e Edge) token.Pos {
+	for _, f := range c.pass.Files {
+		tf := c.pass.Fset.File(f.Pos())
+		if tf == nil || analysis.ModuleRelative(tf.Name()) != strings.TrimSuffix(e.Pos, e.Pos[strings.LastIndexByte(e.Pos, ':'):]) {
+			continue
+		}
+		var line int
+		fmt.Sscanf(e.Pos[strings.LastIndexByte(e.Pos, ':')+1:], "%d", &line)
+		if line >= 1 && line <= tf.LineCount() {
+			return tf.LineStart(line)
+		}
+	}
+	return c.pass.Files[0].Pos()
+}
+
+func findPath(adj map[string][]Edge, from, to string, path []Edge, seen map[string]bool) []Edge {
+	if seen[from] {
+		return nil
+	}
+	seen[from] = true
+	for _, e := range adj[from] {
+		p := append(path, e)
+		if e.To == to {
+			return p
+		}
+		if found := findPath(adj, e.To, to, p, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// walkStmts tracks held locks through a statement list. held is mutated
+// for straight-line flow; branching constructs walk each arm with a
+// copy, and no acquisition escapes its arm (conservative: we only learn
+// orderings, never unlearn them).
+func (c *checker) walkStmts(fn *types.Func, list []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range list {
+		c.walkStmt(fn, stmt, held)
+	}
+}
+
+func (c *checker) walkStmt(fn *types.Func, stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		c.walkStmts(fn, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(fn, s.Init, held)
+		}
+		c.scanCalls(fn, s.Cond, held)
+		c.walkStmt(fn, s.Body, copyHeld(held))
+		if s.Else != nil {
+			c.walkStmt(fn, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(fn, s.Init, held)
+		}
+		c.walkStmt(fn, s.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		c.walkStmt(fn, s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(fn, s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(fn, clause.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(fn, clause.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				c.walkStmts(fn, clause.Body, copyHeld(held))
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock holds to function end: leave held as is.
+		// Other deferred calls run with an unknowable held set; the
+		// conservative direct-acquire summary already covers their keys.
+		if _, isUnlock, key := c.lockOp(s.Call); isUnlock && key != "" {
+			return
+		}
+	case *ast.GoStmt:
+		// The goroutine runs with its own empty held set; its literal
+		// body is walked separately by directAcquires' caller? No — walk
+		// it here so edges inside spawned bodies are still recorded.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkStmts(fn, lit.Body.List, map[string]token.Pos{})
+		}
+	default:
+		c.scanCalls(fn, stmt, held)
+	}
+}
+
+// scanCalls processes every call in a non-branching node in source
+// order: lock/unlock operations update held, other calls contribute
+// their summaries' keys as edges. Function literals are walked with a
+// fresh held set (they usually run elsewhere).
+func (c *checker) scanCalls(fn *types.Func, n ast.Node, held map[string]token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			c.walkStmts(fn, lit.Body.List, map[string]token.Pos{})
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isLock, isUnlock, key := c.lockOp(call); key != "" {
+			if isLock {
+				c.addEdges(fn, held, key, call.Pos())
+				held[key] = call.Pos()
+			} else if isUnlock {
+				delete(held, key)
+			}
+			return false
+		}
+		if callee := analysis.StaticCallee(c.pass.TypesInfo, call); callee != nil && len(held) > 0 {
+			for k := range c.calleeAcquires(callee) {
+				c.addEdges(fn, held, k, call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) addEdges(fn *types.Func, held map[string]token.Pos, to string, pos token.Pos) {
+	for from := range held {
+		if from == to {
+			continue
+		}
+		pair := [2]string{from, to}
+		if c.edgeSet[pair] {
+			continue
+		}
+		c.edgeSet[pair] = true
+		p := c.pass.Fset.Position(pos)
+		c.edges = append(c.edges, Edge{
+			From: from,
+			To:   to,
+			Fn:   fnName(fn),
+			Pos:  fmt.Sprintf("%s:%d", analysis.ModuleRelative(p.Filename), p.Line),
+		})
+	}
+}
+
+// calleeAcquires returns the lock classes a callee may acquire: the
+// local fixpoint for this package's functions, the Acquires fact for
+// imported ones.
+func (c *checker) calleeAcquires(callee *types.Func) map[string]bool {
+	if callee.Pkg() == c.pass.Pkg {
+		return c.acq[callee]
+	}
+	var fact Acquires
+	if c.pass.ImportObjectFact(callee, &fact) {
+		out := make(map[string]bool, len(fact.Keys))
+		for _, k := range fact.Keys {
+			out[k] = true
+		}
+		return out
+	}
+	return nil
+}
+
+// directAcquires collects the lock classes locked syntactically in body,
+// excluding nested function literals (those run on their own schedule
+// and must not inflate the caller-visible summary).
+func (c *checker) directAcquires(body ast.Node) map[string]bool {
+	keys := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isLock, _, key := c.lockOp(call); isLock && key != "" {
+			keys[key] = true
+		}
+		return true
+	})
+	return keys
+}
+
+// lockOp classifies a call as a Lock/RLock or Unlock/RUnlock on a
+// keyable mutex. key is "" for non-mutex calls and for mutexes with no
+// stable identity (locals).
+func (c *checker) lockOp(call *ast.CallExpr) (isLock, isUnlock bool, key string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false, false, ""
+	}
+	fn, ok := c.pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false, false, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+		isUnlock = true
+	default:
+		return false, false, ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false, false, ""
+	}
+	var recvName string
+	switch {
+	case analysis.TypeIs(sig.Recv().Type(), "sync", "Mutex"):
+		recvName = "Mutex"
+	case analysis.TypeIs(sig.Recv().Type(), "sync", "RWMutex"):
+		recvName = "RWMutex"
+	default:
+		return false, false, ""
+	}
+	return isLock, isUnlock, c.keyOf(sel.X, recvName)
+}
+
+// keyOf names the lock class of a mutex expression: "pkg.Type.field"
+// for a field selection on a named type, "pkg.Type.Mutex" for a named
+// type with an embedded mutex locked through its method set, "pkg.var"
+// for a package-level sync.Mutex variable. Local bare mutexes have no
+// class and yield "".
+func (c *checker) keyOf(e ast.Expr, recvName string) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if named, ok := analysis.NamedOf(c.pass.TypesInfo.TypeOf(e.X)); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+		}
+	default:
+		named, ok := analysis.NamedOf(c.pass.TypesInfo.TypeOf(ast.Unparen(e)))
+		if ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			// An embedded mutex locked as t.Lock(): the class is the
+			// embedding named type, whatever the instance.
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + recvName
+		}
+		if id, okID := ast.Unparen(e).(*ast.Ident); okID {
+			if v, okV := c.pass.TypesInfo.ObjectOf(id).(*types.Var); okV &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// short strips the package path down to its last element for messages.
+func short(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func fnName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := analysis.NamedOf(sig.Recv().Type()); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return short(fn.Pkg().Path()) + "." + name
+	}
+	return name
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func copyHeld(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

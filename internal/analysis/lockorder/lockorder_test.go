@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "repro/internal/server")
+}
+
+// TestShardNoFalsePositive mirrors internal/rescache's sharded map: many
+// instances of one lock class, taken one (or two) at a time, must not
+// produce a self-cycle.
+func TestShardNoFalsePositive(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "repro/internal/rescache")
+}

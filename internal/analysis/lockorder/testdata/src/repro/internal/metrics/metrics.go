@@ -1,0 +1,49 @@
+// Package metrics is a dependency fixture: its acquisition summaries and
+// ordering edges reach importers only through facts.
+package metrics
+
+import "sync"
+
+// Registry has an exported embedded mutex, so importers can hold it
+// directly; its lock class is metrics.Registry.Mutex.
+type Registry struct {
+	sync.Mutex
+	names []string
+}
+
+// Stats is a second embedded-mutex class for the cross-package cycle.
+type Stats struct {
+	sync.Mutex
+	n int
+}
+
+// Gauge keeps its mutex private; importers only acquire it through
+// methods, visible to them via the Acquires fact.
+type Gauge struct {
+	mu  sync.Mutex
+	val int
+}
+
+// Set acquires Gauge.mu; callers holding other locks inherit the edge.
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.val = v
+}
+
+// Update acquires Registry.Mutex then (through Set) Gauge.mu.
+func (r *Registry) Update(g *Gauge, v int) {
+	r.Lock()
+	defer r.Unlock()
+	g.Set(v)
+}
+
+// Merge orders Registry before Stats; a reverse order anywhere (any
+// package) completes a cycle.
+func Merge(r *Registry, s *Stats) {
+	r.Lock()
+	defer r.Unlock()
+	s.Lock()
+	s.n++
+	s.Unlock()
+}

@@ -1,0 +1,63 @@
+// Package rescache mirrors the real result cache's shard layout: one
+// mutex class, many instances, locked per operation. Nothing here may be
+// reported.
+package rescache
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+type Cache struct {
+	shards [16]shard
+}
+
+func (c *Cache) idx(k string) int {
+	h := 0
+	for i := 0; i < len(k); i++ {
+		h = h*31 + int(k[i])
+	}
+	return h & 15
+}
+
+func (c *Cache) Get(k string) []byte {
+	sh := &c.shards[c.idx(k)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[k]
+}
+
+func (c *Cache) Put(k string, v []byte) {
+	sh := &c.shards[c.idx(k)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[string][]byte)
+	}
+	sh.m[k] = v
+}
+
+// Sweep locks every shard in turn, never two at once.
+func (c *Cache) Sweep() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+}
+
+// rebalance holds two shards of the same class at once (by index
+// discipline); same-class nesting is not an ordering edge.
+func (c *Cache) rebalance(i, j int) {
+	a, b := &c.shards[i], &c.shards[j]
+	a.mu.Lock()
+	b.mu.Lock()
+	for k, v := range a.m {
+		b.m[k] = v
+	}
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,88 @@
+// Package server holds the lockorder findings plus the clean idioms
+// (single-lock critical sections, deferred unlock) that must stay quiet.
+package server
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+type queue struct {
+	mu   sync.Mutex
+	work []int
+}
+
+type conn struct {
+	mu   sync.Mutex
+	open bool
+}
+
+type reqState struct {
+	mu        sync.Mutex
+	cancelled bool
+}
+
+// push is the common single-lock pattern: no ordering edges at all.
+func push(q *queue, v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.work = append(q.work, v)
+}
+
+// closeAll locks sequentially — the first lock is released before the
+// second is taken, so no edge forms.
+func closeAll(q *queue, c *conn) {
+	q.mu.Lock()
+	q.work = nil
+	q.mu.Unlock()
+	c.mu.Lock()
+	c.open = false
+	c.mu.Unlock()
+}
+
+// lockBoth nests conn under queue...
+func lockBoth(q *queue, c *conn) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c.mu.Lock() // want `lock order cycle: server\.conn\.mu acquired while holding server\.queue\.mu, but the reverse order exists: server\.conn\.mu -> server\.queue\.mu in server\.lockBothReversed`
+	c.open = true
+	c.mu.Unlock()
+}
+
+// ...and lockBothReversed nests queue under conn: together a cycle,
+// reported once (at the first edge, with this path as the reverse).
+func lockBothReversed(q *queue, c *conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q.mu.Lock()
+	q.work = nil
+	q.mu.Unlock()
+}
+
+// holdAndUpdate never names a metrics lock, but Update's Acquires fact
+// says it takes Registry.Mutex (and Gauge.mu), so the edge — and the
+// cycle with registryFirst — is visible interprocedurally.
+func holdAndUpdate(st *reqState, r *metrics.Registry, g *metrics.Gauge) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r.Update(g, 1) // want `lock order cycle: metrics\.Registry\.Mutex acquired while holding server\.reqState\.mu, but the reverse order exists: metrics\.Registry\.Mutex -> server\.reqState\.mu in server\.registryFirst`
+}
+
+func registryFirst(st *reqState, r *metrics.Registry) {
+	r.Lock()
+	defer r.Unlock()
+	st.mu.Lock()
+	st.cancelled = true
+	st.mu.Unlock()
+}
+
+// swap orders Stats before Registry — the reverse of metrics.Merge, so
+// the cycle's other half lives in another package and arrives as an
+// Edges fact.
+func swap(r *metrics.Registry, s *metrics.Stats) {
+	s.Lock()
+	defer s.Unlock()
+	r.Lock() // want `lock order cycle: metrics\.Registry\.Mutex acquired while holding metrics\.Stats\.Mutex, but the reverse order exists: metrics\.Registry\.Mutex -> metrics\.Stats\.Mutex in metrics\.Merge`
+	r.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package suite is the single registry of bwalint analyzers. Every
+// driver (cmd/bwalint standalone, go vet -vettool, tests) must take its
+// analyzer list from Analyzers so that the binary, the docs drift test,
+// and the unused-directive audit all agree on what "all analyzers"
+// means.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/boundary"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/mmapalias"
+	"repro/internal/analysis/streamerr"
+)
+
+// Analyzers returns the full bwalint suite in stable (alphabetical)
+// order. Callers must not mutate the returned slice's Analyzer values.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		boundary.Analyzer,
+		ctxflow.Analyzer,
+		goroleak.Analyzer,
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
+		mmapalias.Analyzer,
+		streamerr.Analyzer,
+	}
+}

@@ -26,6 +26,7 @@ type unitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string // import path -> canonical package path
 	PackageFile               map[string]string // package path -> export-data file
+	PackageVetx               map[string]string // package path -> facts file of an already-vetted dependency
 	Standard                  map[string]bool
 	VetxOnly                  bool   // facts-only run on a dependency
 	VetxOutput                string // where the build system expects the facts file
@@ -37,7 +38,16 @@ type unitConfig struct {
 // fatal on protocol or type-checking errors. Types for imports come from
 // the compiler's export data named in the config, so no source outside
 // the unit is re-checked.
-func RunUnit(configFile string, analyzers []*Analyzer) {
+//
+// Interprocedural facts ride the go command's vetx machinery: the facts
+// of every dependency arrive via PackageVetx, fact-producing analyzers
+// run during VetxOnly dependency visits, and the merged set (imported
+// plus newly exported, so transitive facts survive even if the build
+// system lists only direct dependencies) is written to VetxOutput.
+// Standard-library units are skipped outright — the suite's contracts
+// are module-internal — which keeps `go vet ./...` from type-checking
+// the std closure.
+func RunUnit(configFile string, analyzers []*Analyzer, opts *driverOptions) {
 	data, err := os.ReadFile(configFile)
 	if err != nil {
 		fatalf("%v", err)
@@ -47,26 +57,68 @@ func RunUnit(configFile string, analyzers []*Analyzer) {
 		fatalf("cannot decode vet config %s: %v", configFile, err)
 	}
 
-	// The go command requires the facts file to exist for every vetted
-	// package. The suite carries no cross-package facts, so it is
-	// always empty — and dependency (VetxOnly) runs need nothing else.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	writeFacts := func(facts *FactSet) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var out []byte
+		if facts != nil {
+			if out, err = facts.Encode(); err != nil {
+				fatalf("encoding facts: %v", err)
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, out, 0o666); err != nil {
 			fatalf("writing facts output: %v", err)
 		}
 	}
-	if cfg.VetxOnly {
+
+	if mod := moduleName(cfg.Dir); mod == "std" || mod == "cmd" {
+		writeFacts(nil)
 		os.Exit(0)
+	}
+
+	facts := NewFactSet()
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // a dependency outside the facts protocol; treat as empty
+		}
+		if err := facts.Merge(data); err != nil {
+			fatalf("facts of %s: %v", vetxFile, err)
+		}
 	}
 
 	unit, err := typecheckUnit(cfg)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
 			// The compiler will report the same errors with better
-			// context; stay quiet here.
+			// context; pass the dependency facts through and stay quiet.
+			writeFacts(facts)
 			os.Exit(0)
 		}
 		fatalf("%v", err)
+	}
+	unit.Facts = facts
+
+	if cfg.VetxOnly {
+		for _, a := range analyzers {
+			if err := unit.RunFacts(a); err != nil {
+				fatalf("%s (facts): %v", a.Name, err)
+			}
+		}
+		writeFacts(facts)
+		os.Exit(0)
+	}
+
+	var baseline *Baseline
+	if opts != nil && opts.baselinePath != "" {
+		if baseline, err = LoadBaseline(opts.baselinePath); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	unitFiles := make(map[string]bool, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		unitFiles[ModuleRelative(name)] = true
 	}
 
 	exit := 0
@@ -80,10 +132,26 @@ func RunUnit(configFile string, analyzers []*Analyzer) {
 			fatalf("%s: %v", a.Name, err)
 		}
 		for _, d := range diags {
+			file := ModuleRelative(unit.Fset.Position(d.Pos).Filename)
+			if baseline.Match(file, a.Name, d.Message) {
+				continue
+			}
 			printDiag(os.Stderr, unit.Fset, a.Name, d)
 			exit = 1
 		}
 	}
+	for _, d := range unit.UnusedDirectiveDiagnostics(knownNames(analyzers)) {
+		printDiag(os.Stderr, unit.Fset, "bwalint", d)
+		exit = 1
+	}
+	// Stale entries are checked per unit against the unit's own files;
+	// entries for deleted files surface in standalone runs.
+	for _, e := range baseline.Stale(unitFiles) {
+		fmt.Fprintf(os.Stderr, "%s: stale baseline entry (%s: %q no longer reported): remove it [bwalint/baseline]\n",
+			e.File, e.Analyzer, e.Message)
+		exit = 1
+	}
+	writeFacts(facts)
 	os.Exit(exit)
 }
 

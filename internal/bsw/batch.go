@@ -70,7 +70,10 @@ func RunBatch(p *Params, jobs []Job, cfg BatchConfig) []ExtResult {
 		}
 	}
 
-	var idx8, idx16, idxScalar []int
+	idx8 := make([]int, 0, len(jobs))
+	idx16 := make([]int, 0, len(jobs))
+	idxScalar := make([]int, 0, len(jobs))
+	//bwalint:hot per-read precision classification runs once per batch job
 	for _, id := range order {
 		j := &jobs[id]
 		switch {

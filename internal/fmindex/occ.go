@@ -79,6 +79,8 @@ func count2bit(w uint64, c byte, m int) int {
 }
 
 // Count returns occurrences of c in B0[0..k]; k must be in [-1, n-1].
+//
+//bwalint:hot
 func (o *Occ128) Count(c byte, k int) int {
 	if k < 0 {
 		return 0
@@ -98,6 +100,8 @@ func (o *Occ128) Count(c byte, k int) int {
 }
 
 // Count4 returns occurrences of all four bases in B0[0..k].
+//
+//bwalint:hot
 func (o *Occ128) Count4(k int) (cnt [4]int) {
 	if k < 0 {
 		return
@@ -208,6 +212,8 @@ func countByteEq(w uint64, c byte, m int) int {
 }
 
 // Count returns occurrences of c in B0[0..k]; k must be in [-1, n-1].
+//
+//bwalint:hot
 func (o *Occ32) Count(c byte, k int) int {
 	if k < 0 {
 		return 0
@@ -227,6 +233,8 @@ func (o *Occ32) Count(c byte, k int) int {
 }
 
 // Count4 returns occurrences of all four bases in B0[0..k].
+//
+//bwalint:hot
 func (o *Occ32) Count4(k int) (cnt [4]int) {
 	if k < 0 {
 		return

@@ -22,6 +22,8 @@ func reverseIntervals(a []BiInterval) {
 // re-seeding uses the parent SMEM's occurrence count + 1. The second return
 // value is the query position at which the caller should resume the SMEM
 // sweep (one past the longest forward extension from x0).
+//
+//bwalint:hot
 func (x *Index) SMEM1(q []byte, x0, minIntv int, buf *SMEMBuf, out []BiInterval) ([]BiInterval, int) {
 	n := len(q)
 	if q[x0] > 3 {
