@@ -1,7 +1,7 @@
 GO ?= go
 BWALINT := bin/bwalint
 
-.PHONY: build test vet lint lint-fix lint-fix-dry bwalint bwalint-path race serve demo bench bench-record soak soak-record clean
+.PHONY: build test vet lint lint-fix lint-fix-dry bwalint bwalint-path race serve demo bench bench-record soak soak-gateway soak-record clean
 
 SOAK_DURATION ?= 30s
 
@@ -47,8 +47,11 @@ bench-record: ## regenerate the committed kernel benchmark record
 soak: ## sustained mixed-load run against an in-process server; fails on any violated invariant
 	$(GO) run ./cmd/bwasoak -duration $(SOAK_DURATION) -seed 1 > /dev/null
 
-soak-record: ## regenerate the committed soak record
-	$(GO) run ./cmd/bwasoak -duration $(SOAK_DURATION) -seed 1 -report BENCH_soak.json > /dev/null
+soak-gateway: ## gateway-tier soak: 2 replicas behind bwagate, kill-restart chaos, zero retry budget
+	$(GO) run ./cmd/bwasoak -duration $(SOAK_DURATION) -seed 1 -topology gateway:2 -chaos kill-restart -retries 0 > /dev/null
+
+soak-record: ## regenerate the committed soak record (gateway topology riding kill-restart chaos)
+	$(GO) run ./cmd/bwasoak -duration $(SOAK_DURATION) -seed 1 -topology gateway:2 -chaos kill-restart -retries 0 -report BENCH_soak.json > /dev/null
 
 clean:
 	$(GO) clean ./...

@@ -17,9 +17,11 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "enforce the pkg/ facade rule on the import graph\n\n" +
 		"Nothing outside pkg/..., internal/..., and the -boundary.allow list may\n" +
 		"import the engine packages (internal/pipeline, internal/server,\n" +
-		"internal/core by default): cmd binaries and examples go through the\n" +
-		"pkg/bwamem and pkg/bwaclient facades so the wire and Go API surfaces\n" +
-		"stay the versioned ones.",
+		"internal/core, internal/gateway by default): cmd binaries and examples\n" +
+		"go through the pkg/bwamem and pkg/bwaclient facades so the wire and Go\n" +
+		"API surfaces stay the versioned ones. cmd/bwagate is allowed by\n" +
+		"default: it is the gateway tier's dedicated binary and internal/gateway\n" +
+		"has no pkg/ facade.",
 	Flags: flags(),
 	Run:   run,
 }
@@ -33,11 +35,11 @@ var (
 func flags() *flag.FlagSet {
 	fs := flag.NewFlagSet("boundary", flag.ExitOnError)
 	fs.StringVar(&restrictedFlag, "restricted",
-		"repro/internal/pipeline,repro/internal/server,repro/internal/core",
+		"repro/internal/pipeline,repro/internal/server,repro/internal/core,repro/internal/gateway",
 		"comma-separated packages only importable behind the facade")
 	fs.StringVar(&allowedFlag, "allowed", "repro/internal,repro/pkg",
 		"comma-separated package-path prefixes exempt from the facade rule")
-	fs.StringVar(&allowFlag, "allow", "",
+	fs.StringVar(&allowFlag, "allow", "repro/cmd/bwagate",
 		"comma-separated extra packages (e.g. cmd tools) allowed to import restricted packages")
 	return fs
 }

@@ -14,12 +14,13 @@ import (
 )
 
 // scope holds the package-path fragments that mark request-path code.
-var scope = []string{"internal/server", "internal/pipeline", "internal/rescache", "/pkg/"}
+var scope = []string{"internal/server", "internal/pipeline", "internal/rescache", "internal/gateway", "cmd/bwagate", "/pkg/"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc: "require request-path code to plumb its caller's context\n\n" +
-		"In internal/{server,pipeline,rescache} and pkg/..., non-test code must\n" +
+		"In internal/{server,pipeline,rescache,gateway}, cmd/bwagate, and\n" +
+		"pkg/..., non-test code must\n" +
 		"not mint context.Background()/context.TODO() (it detaches the work from\n" +
 		"request cancellation and deadlines) or pass a nil Context. Deliberate\n" +
 		"detachment (shutdown paths, context-free compatibility wrappers) must\n" +

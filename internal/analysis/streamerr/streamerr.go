@@ -20,13 +20,14 @@ import (
 // the SAM/FASTA/FASTQ writers, the server and pipeline that drive them,
 // the CLI, and the public facades. Report generators (internal/experiments)
 // and best-effort diagnostics stay out by default.
-var scope = []string{"internal/server", "internal/pipeline", "internal/seq", "cmd/bwamem", "/pkg/"}
+var scope = []string{"internal/server", "internal/pipeline", "internal/seq", "internal/gateway", "cmd/bwamem", "cmd/bwagate", "/pkg/"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "streamerr",
 	Doc: "require stream write/flush errors to be checked or annotated away\n\n" +
-		"On the streaming path (internal/{server,pipeline,seq}, cmd/bwamem,\n" +
-		"pkg/...), calls whose error result reports a failed write (w.Write,\n" +
+		"On the streaming path (internal/{server,pipeline,seq,gateway},\n" +
+		"cmd/{bwamem,bwagate}, pkg/...), calls whose error result reports a\n" +
+		"failed write (w.Write,\n" +
 		"WriteString, WriteByte, WriteRune, Flush, ReadFrom; fmt.Fprint*;\n" +
 		"io.WriteString, io.Copy) must have that error consumed. Discarding is\n" +
 		"allowed only with //bwalint:ignore streamerr <reason> on the line.\n" +

@@ -1,0 +1,74 @@
+package gateway
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFlagsREADMEDocDrift locks README.md's bwagate flags table to the
+// actual registrations, both directions: every flag Flags registers (plus
+// the binary-level ones cmd/bwagate/main.go registers itself) must have a
+// table row, and every row must name a real flag. Same mechanism as the
+// bwasoak table's drift test.
+func TestFlagsREADMEDocDrift(t *testing.T) {
+	fs := flag.NewFlagSet("bwagate", flag.ContinueOnError)
+	Flags(fs)
+	registered := make(map[string]bool)
+	fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+
+	// The -addr/-drain process flags live in cmd/bwagate, not in Config;
+	// read them out of the source so a new one there is caught too.
+	src, err := os.ReadFile("../../cmd/bwagate/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdRe := regexp.MustCompile(`fs\.(?:String|Duration|Int|Bool|Float64)\("([a-z0-9-]+)"`)
+	for _, m := range cmdRe.FindAllStringSubmatch(string(src), -1) {
+		registered[m[1]] = true
+	}
+	if !registered["addr"] || !registered["drain"] {
+		t.Fatal("failed to find -addr/-drain registrations in cmd/bwagate/main.go — did the registration style change?")
+	}
+
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "## Gateway tier") {
+			start = i + 1
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatal("README.md has no 'Gateway tier' section")
+	}
+	rowRe := regexp.MustCompile("^\\| `-([a-z0-9-]+)` \\|")
+	documented := make(map[string]bool)
+	for _, l := range lines[start:] {
+		if strings.HasPrefix(l, "## ") {
+			break
+		}
+		if m := rowRe.FindStringSubmatch(l); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("found no flag rows in README.md's bwagate section — did the table move?")
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("bwagate -%s is registered but missing from README.md's flags table", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("README.md documents bwagate -%s but nothing registers it", name)
+		}
+	}
+}

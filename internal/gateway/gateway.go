@@ -1,0 +1,393 @@
+// Package gateway is the bwagate front tier: an HTTP server speaking the
+// exact /v1 wire contract that fans align requests out across a fleet of
+// bwaserve replicas through pkg/bwaclient and merges the ordered SAM
+// streams back into one response byte-identical to a single server's.
+//
+// Routing is consistent-hash on the encoded sequence (ring.go) so
+// duplicate-heavy traffic keeps each replica's rescache hot, with
+// bounded-load spill to the next ring node when the owner is overloaded.
+// Replicas are health-gated (health.go): periodic /v1/readyz probes plus
+// passive failure detection take a replica out of new assignments while
+// in-flight streams finish, and a succeeding probe re-adds it. Single-end
+// requests are partitioned per read and scattered concurrently; paired
+// requests route whole to one replica (insert-size statistics are
+// request-scoped, so splitting a paired request would change its bytes).
+// Failed partitions are retried on the next healthy ring node, resuming
+// after the record groups already merged (proxy.go).
+package gateway
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/bwaclient"
+)
+
+// Error code for gateway-origin failures: no healthy replica to route to,
+// or every retry exhausted before a byte was written. Wire-contract codes
+// (bad_request, overloaded, ...) pass through from replicas unchanged.
+const codeUpstreamUnavailable = "upstream_unavailable"
+
+// Config configures a Gateway. The zero value of each field means its
+// documented default.
+type Config struct {
+	// Replicas is the bwaserve base URLs the gateway routes across.
+	// Required, at least one.
+	Replicas []string
+	// ProbeInterval is the readyz probe period. 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one readyz probe. 0 means 2s.
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures mark a replica
+	// down (passive traffic failures mark it down immediately). 0 means 2.
+	FailAfter int
+	// SpillFactor is the bounded-load factor c: a partition spills past
+	// its ring owner when the owner's in-flight reads exceed c times the
+	// healthy-fleet average. 0 means 1.25; negative disables spilling.
+	SpillFactor float64
+	// VNodes is the virtual nodes per replica on the hash ring. 0 means 64.
+	VNodes int
+	// Retries is how many times a failed partition is re-dispatched to
+	// another healthy replica before the request fails. 0 means 2;
+	// negative disables retries.
+	Retries int
+	// MaxReadsPerRequest and MaxReadLen mirror the replicas' caps so the
+	// gateway rejects oversized requests with the replicas' exact
+	// envelopes instead of scattering work that would be rejected
+	// upstream. 0 means 65536 (the server default) for both.
+	MaxReadsPerRequest int
+	MaxReadLen         int
+	// UpstreamRetries429 is bwaclient's retry count for upstream 429s
+	// (admission backoff happens against the replica that owns the key,
+	// preserving cache affinity). 0 means 2; negative disables.
+	UpstreamRetries429 int
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.SpillFactor == 0 {
+		c.SpillFactor = 1.25
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.MaxReadsPerRequest <= 0 {
+		c.MaxReadsPerRequest = 65536
+	}
+	if c.MaxReadLen <= 0 {
+		c.MaxReadLen = 65536
+	}
+	if c.UpstreamRetries429 == 0 {
+		c.UpstreamRetries429 = 2
+	}
+	if c.UpstreamRetries429 < 0 {
+		c.UpstreamRetries429 = 0
+	}
+	return c
+}
+
+// Flags binds the gateway's configuration to fs, returning the Config the
+// parsed flags fill. Flag names and help strings are documented in
+// README.md's bwagate table; a drift test keeps the two in sync.
+func Flags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	var replicas string
+	fs.Func("replicas", "comma-separated bwaserve base URLs to route across (required)", func(v string) error {
+		replicas = v
+		for _, u := range strings.Split(v, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				c.Replicas = append(c.Replicas, u)
+			}
+		}
+		if len(c.Replicas) == 0 {
+			return fmt.Errorf("no replica URLs in %q", replicas)
+		}
+		return nil
+	})
+	fs.DurationVar(&c.ProbeInterval, "probe-interval", 0, "readyz probe period (0 = 1s)")
+	fs.DurationVar(&c.ProbeTimeout, "probe-timeout", 0, "timeout of one readyz probe (0 = 2s)")
+	fs.IntVar(&c.FailAfter, "fail-after", 0, "consecutive probe failures before a replica is down (0 = 2)")
+	fs.Float64Var(&c.SpillFactor, "spill-factor", 0, "bounded-load factor before spilling past the ring owner (0 = 1.25, negative disables)")
+	fs.IntVar(&c.VNodes, "vnodes", 0, "virtual nodes per replica on the hash ring (0 = 64)")
+	fs.IntVar(&c.Retries, "retries", 0, "re-dispatches of a failed partition to another replica (0 = 2, negative disables)")
+	fs.IntVar(&c.MaxReadsPerRequest, "max-request-reads", 0, "max reads per request, 413 beyond; match the replicas (0 = 65536)")
+	fs.IntVar(&c.MaxReadLen, "max-read-len", 0, "max bases per read, 413 beyond; match the replicas (0 = 65536)")
+	return c
+}
+
+// Gateway is the routing front tier. Construct with New, serve via
+// Handler/ServeHTTP, stop with Shutdown (graceful) or Close.
+type Gateway struct {
+	cfg       Config
+	replicas  []*replica
+	ring      *hashRing
+	mux       *http.ServeMux
+	met       *gwMetrics
+	bodyLimit int64
+	upstream  *http.Client
+
+	draining    atomic.Bool
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+	logFn       atomic.Pointer[func(string, ...any)]
+
+	// in-flight request accounting for graceful drain, the admission
+	// idle-channel pattern: idle is lazily created by a waiting Shutdown
+	// and closed by the exit that takes inflight to zero.
+	mu       sync.Mutex
+	inflight int
+	idle     chan struct{}
+}
+
+// New builds a gateway over cfg.Replicas and starts its health prober.
+// The caller must Close (or Shutdown) it.
+func New(cfg Config, opts ...Option) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("gateway: no replicas configured")
+	}
+	seen := make(map[string]bool, len(cfg.Replicas))
+	urls := make([]string, 0, len(cfg.Replicas))
+	for _, u := range cfg.Replicas {
+		u = strings.TrimRight(u, "/")
+		if seen[u] {
+			return nil, fmt.Errorf("gateway: duplicate replica %s", u)
+		}
+		seen[u] = true
+		urls = append(urls, u)
+	}
+	g := &Gateway{cfg: cfg, mux: http.NewServeMux(), met: newGwMetrics(),
+		bodyLimit: server.RequestBodyLimit(cfg.MaxReadsPerRequest, cfg.MaxReadLen),
+		probeDone: make(chan struct{})}
+	for _, o := range opts {
+		if err := o(g); err != nil {
+			return nil, err
+		}
+	}
+	hc := g.httpClient()
+	g.upstream = hc
+	for _, u := range urls {
+		cl, err := bwaclient.New(u, bwaclient.WithRetries(cfg.UpstreamRetries429), bwaclient.WithHTTPClient(hc))
+		if err != nil {
+			return nil, fmt.Errorf("gateway: replica %s: %w", u, err)
+		}
+		probe, err := bwaclient.New(u, bwaclient.WithRetries(0), bwaclient.WithHTTPClient(hc))
+		if err != nil {
+			return nil, fmt.Errorf("gateway: replica %s: %w", u, err)
+		}
+		g.replicas = append(g.replicas, &replica{url: u, client: cl, probe: probe})
+	}
+	g.ring = buildRing(urls, cfg.VNodes)
+	g.registerRoutes()
+
+	// The prober's lifetime is the gateway's, not any request's; Close
+	// cancels it.
+	//bwalint:ignore ctxflow prober lifetime is the gateway's, ended by Close
+	ctx, cancel := context.WithCancel(context.Background())
+	g.probeCancel = cancel
+	go g.probeLoop(ctx)
+	return g, nil
+}
+
+// Option configures a Gateway at construction.
+type Option func(*Gateway) error
+
+var testHTTPClient *http.Client // test hook; nil in production
+
+// httpClient resolves the upstream *http.Client: connection pooling tuned
+// for many concurrent streams to few hosts. Align responses stream, so no
+// overall client timeout is set — request contexts bound each call.
+func (g *Gateway) httpClient() *http.Client {
+	if testHTTPClient != nil {
+		return testHTTPClient
+	}
+	tr := http.DefaultTransport
+	if t, ok := tr.(*http.Transport); ok {
+		t = t.Clone()
+		t.MaxIdleConnsPerHost = 64
+		tr = t
+	}
+	return &http.Client{Transport: tr}
+}
+
+// CloseIdleConnections drops the pooled idle upstream connections (and
+// with them their transport goroutines). Pool occupancy is bounded by
+// configuration, not leaked, but it makes a post-load goroutine count
+// load-shaped; leak checks (the soak harness's server-side invariant)
+// call this first so they measure the gateway's resting footprint.
+func (g *Gateway) CloseIdleConnections() { g.upstream.CloseIdleConnections() }
+
+// SetLogf installs a control-plane logger (replica state transitions,
+// retries). nil disables logging, the default. Safe to call concurrently.
+func (g *Gateway) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		g.logFn.Store(nil)
+		return
+	}
+	g.logFn.Store(&logf)
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if f := g.logFn.Load(); f != nil {
+		(*f)(format, args...)
+	}
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// registerRoutes installs the wire surface: the same /v1 routes (and
+// legacy aliases) a bwaserve exposes, minus the server-local debug
+// endpoint, so a client cannot tell the tiers apart.
+func (g *Gateway) registerRoutes() {
+	routes := []struct {
+		method, path, legacy string
+		h                    http.HandlerFunc
+	}{
+		{http.MethodPost, "/v1/align", "/align", g.handleAlign},
+		{http.MethodPost, "/v1/align/paired", "/align/paired", g.handleAlignPaired},
+		{http.MethodGet, "/v1/healthz", "/healthz", g.handleHealthz},
+		{http.MethodGet, "/v1/readyz", "", g.handleReadyz},
+		{http.MethodGet, "/v1/metrics", "/metrics", g.handleMetrics},
+	}
+	for _, rt := range routes {
+		h := g.instrument(rt.method, rt.h)
+		g.mux.HandleFunc(rt.path, h)
+		if rt.legacy != "" {
+			g.mux.HandleFunc(rt.legacy, h)
+		}
+	}
+	g.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		g.setRequestID(w, r, func(w http.ResponseWriter, r *http.Request) {
+			g.apiError(w, r, http.StatusNotFound, bwaclient.CodeNotFound,
+				fmt.Sprintf("no such route %s (see /v1/align, /v1/align/paired, /v1/healthz, /v1/metrics)", r.URL.Path))
+		})
+	})
+}
+
+// instrument wraps a handler with request-ID assignment, the in-flight
+// drain accounting, and the single-method check — the same wire
+// bookkeeping a replica applies, so envelopes stay byte-identical.
+func (g *Gateway) instrument(method string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g.setRequestID(w, r, func(w http.ResponseWriter, r *http.Request) {
+			g.enter()
+			defer g.exit()
+			if r.Method != method {
+				w.Header().Set("Allow", method)
+				g.apiError(w, r, http.StatusMethodNotAllowed, bwaclient.CodeMethodNotAllowed,
+					fmt.Sprintf("method %s not allowed (use %s)", r.Method, method))
+				return
+			}
+			next(w, r)
+		})
+	}
+}
+
+// gwRequestIDKey keys the request ID in a request context.
+type gwCtxKey int
+
+const gwRequestIDKey gwCtxKey = iota
+
+// setRequestID resolves the request's ID exactly as a replica would —
+// client-supplied when valid, fresh otherwise — and exposes it as the
+// X-Request-Id header and in the context.
+func (g *Gateway) setRequestID(w http.ResponseWriter, r *http.Request, next http.HandlerFunc) {
+	id := r.Header.Get("X-Request-Id")
+	if !server.ValidRequestID(id) {
+		id = server.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	next(w, r.WithContext(context.WithValue(r.Context(), gwRequestIDKey, id)))
+}
+
+// requestID returns the ID assigned by setRequestID ("" outside a request).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(gwRequestIDKey).(string)
+	return id
+}
+
+// apiError writes the typed JSON error envelope of the /v1 contract.
+func (g *Gateway) apiError(w http.ResponseWriter, r *http.Request, status int, code, message string) {
+	server.WriteErrorEnvelope(w, status, code, message, requestID(r.Context()))
+}
+
+// enter/exit track in-flight requests for graceful drain.
+func (g *Gateway) enter() {
+	g.mu.Lock()
+	g.inflight++
+	g.mu.Unlock()
+}
+
+func (g *Gateway) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+	g.mu.Unlock()
+}
+
+// Shutdown drains the gateway: readyz flips to 503, new align requests
+// are refused with the draining envelope, and the call waits until
+// in-flight requests finish or ctx ends. Idempotent.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.draining.Store(true)
+	g.stopProber()
+	g.mu.Lock()
+	if g.inflight == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+	}
+	idle := g.idle
+	g.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("gateway: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close stops the prober and marks the gateway draining without waiting
+// for in-flight requests. Idempotent.
+func (g *Gateway) Close() {
+	g.draining.Store(true)
+	g.stopProber()
+}
+
+func (g *Gateway) stopProber() {
+	g.probeCancel()
+	<-g.probeDone
+}

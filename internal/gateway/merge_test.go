@@ -1,0 +1,252 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pkg/bwaclient"
+)
+
+// fakeStream serves body as an align response and returns the client-side
+// SAMStream over it — the same decoding path the gateway reads upstreams
+// through.
+func fakeStream(t *testing.T, body string) *bwaclient.SAMStream {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/x-sam")
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	cl, err := bwaclient.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Align(context.Background(), []bwaclient.Read{{Name: "r", Seq: []byte("ACGT"), Qual: []byte("IIII")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// rec builds one SAM record line with the given name and flag.
+func rec(name string, flag int) string {
+	return fmt.Sprintf("%s\t%d\tchr1\t100\t60\t4M\t*\t0\t0\tACGT\tIIII\n", name, flag)
+}
+
+func collectGroups(t *testing.T, body string, quota int) (hdr string, groups []string, n int, err error) {
+	t.Helper()
+	st := fakeStream(t, body)
+	gotHdr := false
+	n, err = splitGroups(st, quota, func(h []byte) {
+		if gotHdr {
+			t.Fatal("onHeader called twice")
+		}
+		gotHdr = true
+		hdr = string(h)
+	}, func(g []byte) {
+		groups = append(groups, string(g))
+	})
+	if err == nil && !gotHdr {
+		t.Fatal("onHeader never called on a clean stream")
+	}
+	return hdr, groups, n, err
+}
+
+func TestSplitGroupsSingleEnd(t *testing.T) {
+	header := "@SQ\tSN:chr1\tLN:60000\n@PG\tID:bwa\n"
+	body := header + rec("a", 0) + rec("b", 16) + rec("c", 4)
+	hdr, groups, n, err := collectGroups(t, body, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != header {
+		t.Fatalf("header %q, want %q", hdr, header)
+	}
+	if n != 3 || len(groups) != 3 {
+		t.Fatalf("got %d groups (%d reported), want 3", len(groups), n)
+	}
+	want := []string{rec("a", 0), rec("b", 16), rec("c", 4)}
+	for i := range want {
+		if groups[i] != want[i] {
+			t.Fatalf("group %d = %q, want %q", i, groups[i], want[i])
+		}
+	}
+}
+
+func TestSplitGroupsAttachesSecondaries(t *testing.T) {
+	// Secondary (0x100) and supplementary (0x800) records belong to the
+	// preceding primary's group.
+	body := rec("a", 0) + rec("a", 256) + rec("a", 2048) + rec("b", 16)
+	_, groups, _, err := collectGroups(t, body, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if want := rec("a", 0) + rec("a", 256) + rec("a", 2048); groups[0] != want {
+		t.Fatalf("group 0 = %q, want %q", groups[0], want)
+	}
+	if groups[1] != rec("b", 16) {
+		t.Fatalf("group 1 = %q, want %q", groups[1], rec("b", 16))
+	}
+}
+
+func TestSplitGroupsPairedQuota(t *testing.T) {
+	// Paired groups hold two primaries (one per mate) plus attachments.
+	body := rec("p1", 99) + rec("p1", 147) + rec("p1", 2147) +
+		rec("p2", 77) + rec("p2", 141)
+	_, groups, _, err := collectGroups(t, body, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if !strings.Contains(groups[0], "\t2147\t") {
+		t.Fatalf("supplementary record not attached to its pair group: %q", groups[0])
+	}
+}
+
+func TestSplitGroupsHeaderOnly(t *testing.T) {
+	hdr, groups, n, err := collectGroups(t, "@SQ\tSN:chr1\tLN:9\n", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != "@SQ\tSN:chr1\tLN:9\n" || n != 0 || len(groups) != 0 {
+		t.Fatalf("header-only stream: hdr=%q n=%d groups=%d", hdr, n, len(groups))
+	}
+}
+
+func TestSplitGroupsErrors(t *testing.T) {
+	// A stream opening with a non-primary record is corrupt.
+	if _, _, _, err := collectGroups(t, rec("a", 256), 1); err == nil {
+		t.Fatal("no error for group opening with a secondary record")
+	}
+	// A cleanly-ended stream whose final group is short of quota is a
+	// truncated paired response, not a complete group.
+	if _, _, _, err := collectGroups(t, rec("p1", 99), 2); err == nil {
+		t.Fatal("no error for final group below quota")
+	}
+	// A body cut mid-record must surface the stream error. Group "a" was
+	// proven complete by the arrival of primary "b" and is delivered; the
+	// group being cut ("b") is not — and neither is a fully-buffered final
+	// group, since only a clean EOF proves no attachments follow it.
+	body := rec("a", 0) + rec("b", 16) + "c\t16\tchr1\t200\t60\t4M\t*\t0\t0\tACGT\tIII"
+	st := fakeStream(t, body)
+	var groups int
+	n, err := splitGroups(st, 1, nil, func([]byte) { groups++ })
+	if err == nil {
+		t.Fatal("no error for truncated stream")
+	}
+	if n != 1 || groups != 1 {
+		t.Fatalf("truncated stream delivered %d groups, want exactly the 1 proven-complete one", groups)
+	}
+	// Garbage where the flag field should be is an error, not a group.
+	if _, _, _, err := collectGroups(t, "notasamrecord\tnope\n", 1); err == nil {
+		t.Fatal("no error for unparseable flag field")
+	}
+}
+
+func TestMergerReordersCompletions(t *testing.T) {
+	w := httptest.NewRecorder()
+	m := newMerger(w, 4, false)
+	// Complete out of order; output must be input order.
+	m.Complete(2, []byte("two\n"))
+	m.Complete(0, []byte("zero\n"))
+	m.Complete(3, []byte("three\n"))
+	m.Complete(1, []byte("one\n"))
+	if err := m.CloseAndWait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Body.String(), "zero\none\ntwo\nthree\n"; got != want {
+		t.Fatalf("merged %q, want %q", got, want)
+	}
+	if m.Missing() != 0 || m.Written() != int64(len(w.Body.String())) {
+		t.Fatalf("bookkeeping: missing=%d written=%d", m.Missing(), m.Written())
+	}
+}
+
+func TestMergerHeaderGate(t *testing.T) {
+	w := httptest.NewRecorder()
+	m := newMerger(w, 2, true)
+	fired := false
+	m.OnFirstWrite(func() { fired = true })
+	m.Complete(0, []byte("zero\n"))
+	m.Complete(1, []byte("one\n"))
+	// All groups are complete but the header has not arrived: nothing may
+	// be written yet.
+	time.Sleep(20 * time.Millisecond)
+	if w.Body.Len() != 0 {
+		t.Fatalf("wrote %q before the header arrived", w.Body.String())
+	}
+	if fired {
+		t.Fatal("OnFirstWrite fired before any byte went out")
+	}
+	m.SetHeader([]byte("@HDR\n"))
+	m.SetHeader([]byte("@WRONG\n")) // second delivery (a retry) must be ignored
+	if err := m.CloseAndWait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Body.String(), "@HDR\nzero\none\n"; got != want {
+		t.Fatalf("merged %q, want %q", got, want)
+	}
+	if !fired {
+		t.Fatal("OnFirstWrite never fired")
+	}
+}
+
+func TestMergerHeaderOnlyResponse(t *testing.T) {
+	w := httptest.NewRecorder()
+	m := newMerger(w, 0, true)
+	m.SetHeader([]byte("@HDR\n"))
+	if err := m.CloseAndWait(); err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureHeader()
+	if got := w.Body.String(); got != "@HDR\n" {
+		t.Fatalf("header-only response %q, want %q", got, "@HDR\n")
+	}
+}
+
+// failAfterWriter fails every write after the first n bytes, standing in
+// for a client that went away mid-response.
+type failAfterWriter struct {
+	httptest.ResponseRecorder
+	n int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("client gone")
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, fmt.Errorf("client gone")
+	}
+	f.n -= len(p)
+	return f.ResponseRecorder.Write(p)
+}
+
+func TestMergerStickyWriteError(t *testing.T) {
+	w := &failAfterWriter{ResponseRecorder: *httptest.NewRecorder(), n: 5}
+	m := newMerger(w, 3, false)
+	m.Complete(0, []byte("0123456789\n"))
+	m.Complete(1, []byte("x\n"))
+	m.Complete(2, []byte("y\n"))
+	err := m.CloseAndWait()
+	if err == nil {
+		t.Fatal("write error not surfaced by CloseAndWait")
+	}
+	if !m.Started() {
+		t.Fatal("Started() false after a partial write")
+	}
+}

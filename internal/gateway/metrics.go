@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// gwMetrics aggregates the gateway-level counters exposed on /v1/metrics.
+// Everything is the routing-plane view: what came in, where it went, what
+// spilled or retried, what went back out. Names carry the bwagate_ prefix
+// so a scrape distinguishes tiers; the bwagate_request_seconds histogram
+// and bwagate_go_* runtime gauges match the shapes the soak harness (and
+// any dashboard built for bwaserve) already parses.
+type gwMetrics struct {
+	start time.Time
+
+	singleRequests atomic.Int64 // accepted /align requests
+	pairedRequests atomic.Int64 // accepted /align/paired requests
+	badRequests    atomic.Int64 // 400/405/415: malformed input
+	rejectedLarge  atomic.Int64 // 413: body/read policy
+	rejectedDrain  atomic.Int64 // 503: gateway shutting down
+	readsTotal     atomic.Int64 // reads accepted for routing (pairs count 2)
+	samBytes       atomic.Int64 // merged SAM bytes written to clients
+
+	spills     atomic.Int64 // assignments moved past the ring owner (bounded load)
+	retries    atomic.Int64 // partition re-dispatches after upstream failure
+	noUpstream atomic.Int64 // requests failed with no healthy replica
+
+	reqSingle obs.Histogram // end-to-end handler time, POST /v1/align
+	reqPaired obs.Histogram // end-to-end handler time, POST /v1/align/paired
+	ttfb      obs.Histogram // request start -> first merged byte
+}
+
+func newGwMetrics() *gwMetrics {
+	return &gwMetrics{start: time.Now()}
+}
+
+// handleMetrics serves GET /v1/metrics (alias /metrics): the gateway's
+// Prometheus text exposition, including per-replica routing state.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := g.met
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "bwagate_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(&buf, "bwagate_replicas %d\n", len(g.replicas))
+	fmt.Fprintf(&buf, "bwagate_replicas_up %d\n", g.healthyCount())
+	fmt.Fprintf(&buf, "bwagate_requests_total{kind=%q} %d\n", "single", m.singleRequests.Load())
+	fmt.Fprintf(&buf, "bwagate_requests_total{kind=%q} %d\n", "paired", m.pairedRequests.Load())
+	fmt.Fprintf(&buf, "bwagate_requests_rejected_total{reason=%q} %d\n", "too_large", m.rejectedLarge.Load())
+	fmt.Fprintf(&buf, "bwagate_requests_rejected_total{reason=%q} %d\n", "draining", m.rejectedDrain.Load())
+	fmt.Fprintf(&buf, "bwagate_requests_rejected_total{reason=%q} %d\n", "no_upstream", m.noUpstream.Load())
+	fmt.Fprintf(&buf, "bwagate_requests_bad_total %d\n", m.badRequests.Load())
+	fmt.Fprintf(&buf, "bwagate_reads_total %d\n", m.readsTotal.Load())
+	fmt.Fprintf(&buf, "bwagate_sam_bytes_total %d\n", m.samBytes.Load())
+	fmt.Fprintf(&buf, "bwagate_spills_total %d\n", m.spills.Load())
+	fmt.Fprintf(&buf, "bwagate_retries_total %d\n", m.retries.Load())
+	occ := g.ring.occupancy()
+	for i, rep := range g.replicas {
+		fmt.Fprintf(&buf, "bwagate_replica_state{replica=%q,state=%q} 1\n", rep.url, stateName(rep.State()))
+		fmt.Fprintf(&buf, "bwagate_replica_inflight_reads{replica=%q} %d\n", rep.url, rep.inflight.Load())
+		fmt.Fprintf(&buf, "bwagate_replica_assigned_total{replica=%q} %d\n", rep.url, rep.assigned.Load())
+		fmt.Fprintf(&buf, "bwagate_replica_spilled_to_total{replica=%q} %d\n", rep.url, rep.spilledTo.Load())
+		fmt.Fprintf(&buf, "bwagate_replica_passive_failures_total{replica=%q} %d\n", rep.url, rep.passiveFails.Load())
+		fmt.Fprintf(&buf, "bwagate_replica_probe_failures_total{replica=%q} %d\n", rep.url, rep.probeFails.Load())
+		fmt.Fprintf(&buf, "bwagate_ring_points{replica=%q} %d\n", rep.url, occ[i])
+	}
+	writeHist := func(h *obs.Histogram, name, labels string) {
+		//bwalint:ignore streamerr exposition writes into a local buffer; the single checked write is below
+		_ = h.Write(&buf, name, labels)
+	}
+	writeHist(&m.reqSingle, "bwagate_request_seconds", `kind="single"`)
+	writeHist(&m.reqPaired, "bwagate_request_seconds", `kind="paired"`)
+	writeHist(&m.ttfb, "bwagate_ttfb_seconds", "")
+	for _, rep := range g.replicas {
+		writeHist(&rep.upstream, "bwagate_upstream_seconds", fmt.Sprintf("replica=%q", rep.url))
+	}
+	obs.WriteRuntimeMetrics(&buf, "bwagate")
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return // scraper went away mid-response; nothing to salvage
+	}
+}
+
+// handleHealthz serves GET /v1/healthz (alias /healthz): pure liveness for
+// the gateway process itself, plus the replica-fleet summary a human or
+// probe wants at a glance. Always 200 — readiness is /v1/readyz.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if g.draining.Load() {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	//bwalint:ignore streamerr probe body is best-effort once the status code is out
+	_, _ = fmt.Fprintf(w, `{"status":%q,"uptime_seconds":%.3f,"replicas":%d,"replicas_up":%d}`+"\n",
+		status, time.Since(g.met.start).Seconds(), len(g.replicas), g.healthyCount())
+}
+
+// handleReadyz serves GET /v1/readyz: 200 while the gateway can route new
+// work (not draining, at least one healthy replica), 503 otherwise — the
+// same signal shape a replica exposes, so load balancers treat the tiers
+// identically.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case g.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case g.healthyCount() == 0:
+		status, code = "unavailable", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//bwalint:ignore streamerr probe body is best-effort once the status code is out
+	_, _ = fmt.Fprintf(w, `{"status":%q,"replicas_up":%d}`+"\n", status, g.healthyCount())
+}

@@ -1,0 +1,125 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return urls
+}
+
+func TestRingDeterministic(t *testing.T) {
+	urls := testURLs(3)
+	a := buildRing(urls, 64)
+	b := buildRing(urls, 64)
+	for i := 0; i < 10000; i++ {
+		key := fnv64a(fnvOffset, []byte(fmt.Sprintf("key-%d", i)))
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %d: owner differs between identical rings", i)
+		}
+	}
+}
+
+func TestRingWalkCoversAllNodes(t *testing.T) {
+	r := buildRing(testURLs(4), 16)
+	for i := 0; i < 1000; i++ {
+		key := fnv64a(fnvOffset, []byte(fmt.Sprintf("key-%d", i)))
+		w := r.walk(key)
+		if len(w) != 4 {
+			t.Fatalf("walk(%d) returned %d nodes, want 4", key, len(w))
+		}
+		if w[0] != r.owner(key) {
+			t.Fatalf("walk(%d) starts at %d, owner is %d", key, w[0], r.owner(key))
+		}
+		seen := make(map[int]bool)
+		for _, n := range w {
+			if n < 0 || n >= 4 || seen[n] {
+				t.Fatalf("walk(%d) = %v: invalid or repeated node", key, w)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingOccupancyAndBalance(t *testing.T) {
+	const nodes, vnodes = 3, 64
+	r := buildRing(testURLs(nodes), vnodes)
+	occ := r.occupancy()
+	total := 0
+	for i, o := range occ {
+		if o != vnodes {
+			t.Fatalf("node %d owns %d ring points, want %d", i, o, vnodes)
+		}
+		total += o
+	}
+	if total != nodes*vnodes {
+		t.Fatalf("ring has %d points, want %d", total, nodes*vnodes)
+	}
+
+	// Key assignment should be roughly balanced: no node starves, no node
+	// hoards. Very loose bounds — this guards against a broken hash or a
+	// ring sorted wrong, not statistical perfection.
+	counts := make([]int, nodes)
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fnv64a(fnvOffset, []byte(fmt.Sprintf("key-%d", i))))]++
+	}
+	for i, c := range counts {
+		if c < keys/nodes/3 || c > keys*2/nodes {
+			t.Fatalf("node %d owns %d of %d keys: ring badly unbalanced %v", i, c, keys, counts)
+		}
+	}
+}
+
+func TestRingStableUnderMembershipView(t *testing.T) {
+	// The ring is built from ALL configured replicas; health never rebuilds
+	// it. A key's owner must not depend on vnode count of other checks —
+	// i.e. adding a replica moves only a fraction of keys (consistent
+	// hashing's point).
+	urls := testURLs(3)
+	small := buildRing(urls, 64)
+	big := buildRing(append(append([]string{}, urls...), "http://replica-3:8080"), 64)
+	moved := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		key := fnv64a(fnvOffset, []byte(fmt.Sprintf("key-%d", i)))
+		a, b := small.owner(key), big.owner(key)
+		if a != b {
+			if b != 3 {
+				t.Fatalf("key %d moved from node %d to node %d, not to the new node", i, a, b)
+			}
+			moved++
+		}
+	}
+	// Expect ~1/4 of keys to move to the new node; far more means the hash
+	// is reshuffling everything.
+	if moved > keys/2 {
+		t.Fatalf("%d of %d keys moved after adding one replica", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new replica")
+	}
+}
+
+func TestReadKeyMatchesEncodedHash(t *testing.T) {
+	var scratch []byte
+	// seq.Encode folds case and maps unknowns to N, so these all key alike.
+	a := readKey(&scratch, []byte("ACGTacgt"))
+	b := readKey(&scratch, []byte("acgtACGT"))
+	if a != b {
+		t.Fatal("case folding not applied: equal encoded sequences got different keys")
+	}
+	c := readKey(&scratch, []byte("NNNNNNNN"))
+	d := readKey(&scratch, []byte("XXXXXXXX"))
+	if c != d {
+		t.Fatal("non-ACGT bases should all encode to N and share a key")
+	}
+	if a == c {
+		t.Fatal("distinct sequences should (overwhelmingly) get distinct keys")
+	}
+}

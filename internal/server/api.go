@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"strings"
@@ -72,6 +73,7 @@ var routeTable = []apiRoute{
 	{http.MethodPost, "/v1/align", "/align", func(s *Server) http.HandlerFunc { return s.handleAlign }},
 	{http.MethodPost, "/v1/align/paired", "/align/paired", func(s *Server) http.HandlerFunc { return s.handleAlignPaired }},
 	{http.MethodGet, "/v1/healthz", "/healthz", func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+	{http.MethodGet, "/v1/readyz", "", func(s *Server) http.HandlerFunc { return s.handleReadyz }},
 	{http.MethodGet, "/v1/metrics", "/metrics", func(s *Server) http.HandlerFunc { return s.handleMetrics }},
 	{http.MethodGet, "/v1/debug/requests", "", func(s *Server) http.HandlerFunc { return s.handleDebugRequests }},
 }
@@ -195,10 +197,16 @@ func newRequestID() string {
 func (s *Server) apiError(w http.ResponseWriter, r *http.Request, status int, code, message string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	writeEnvelopeBody(w, code, message, requestID(r.Context()))
+}
+
+// writeEnvelopeBody renders the JSON envelope body (shared with the
+// gateway via WriteErrorEnvelope).
+func writeEnvelopeBody(w io.Writer, code, message, requestID string) {
 	enc := json.NewEncoder(w)
 	// Encoding a flat struct of strings cannot fail; the write error (client
 	// gone) has nowhere useful to go.
-	_ = enc.Encode(errorEnvelope{Code: code, Message: message, RequestID: requestID(r.Context())})
+	_ = enc.Encode(errorEnvelope{Code: code, Message: message, RequestID: requestID})
 }
 
 // alignBodyKind resolves the negotiated body family of an align request:

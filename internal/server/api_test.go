@@ -251,6 +251,7 @@ func TestRoutesListed(t *testing.T) {
 		"POST /v1/align (alias /align)",
 		"POST /v1/align/paired (alias /align/paired)",
 		"GET /v1/healthz (alias /healthz)",
+		"GET /v1/readyz",
 		"GET /v1/metrics (alias /metrics)",
 		"GET /v1/debug/requests",
 	}

@@ -184,29 +184,10 @@ func scanFastq(body io.Reader, max, maxLen int) ([]seq.Read, error) {
 
 // parseSingle extracts and validates the read set of a single-end request,
 // streaming the decode so caps and validation apply mid-body. asJSON is
-// the negotiated body family (alignBodyKind).
+// the negotiated body family (alignBodyKind). The decode itself lives in
+// wire.go (ParseSingleReads), shared with the gateway tier.
 func (s *Server) parseSingle(r *http.Request, asJSON bool) ([]seq.Read, error) {
-	max, maxLen := s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen
-	if !asJSON {
-		return scanFastq(r.Body, max, maxLen)
-	}
-	var reads []seq.Read
-	err := seq.DecodeJSONReads(r.Body, map[string]seq.JSONReadVisitor{
-		"reads": func(rd seq.Read) error {
-			if len(reads) >= max {
-				return capErr(max)
-			}
-			if err := validateRead(&rd, len(reads), maxLen); err != nil {
-				return err
-			}
-			reads = append(reads, rd)
-			return nil
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return reads, nil
+	return ParseSingleReads(r.Body, asJSON, s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen)
 }
 
 // parsePaired extracts both read sets of a paired-end request. The raw
@@ -214,84 +195,22 @@ func (s *Server) parseSingle(r *http.Request, asJSON bool) ([]seq.Read, error) {
 // decode streams — the total read cap and per-read validation apply as the
 // body arrives — and pair names must agree (after /1,/2 suffix stripping):
 // misordered interleaved input would otherwise silently produce wrong
-// pairings.
+// pairings. The decode itself lives in wire.go (ParsePairedReads), shared
+// with the gateway tier.
 func (s *Server) parsePaired(r *http.Request, asJSON bool) (r1, r2 []seq.Read, err error) {
-	max, maxLen := s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen
-	if asJSON {
-		count := 0
-		visitor := func(label string, dst *[]seq.Read) seq.JSONReadVisitor {
-			return func(rd seq.Read) error {
-				if count >= max {
-					return capErr(max)
-				}
-				if err := validateRead(&rd, len(*dst), maxLen); err != nil {
-					return fmt.Errorf("%s: %w", label, err)
-				}
-				*dst = append(*dst, rd)
-				count++
-				return nil
-			}
-		}
-		err := seq.DecodeJSONReads(r.Body, map[string]seq.JSONReadVisitor{
-			"reads1": visitor("reads1", &r1),
-			"reads2": visitor("reads2", &r2),
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-	} else {
-		sc := seq.NewFastqScanner(r.Body)
-		n := 0
-		for sc.Scan() {
-			if n >= max {
-				return nil, nil, capErr(max)
-			}
-			rd := sc.Record()
-			if err := validateRead(&rd, n/2, maxLen); err != nil {
-				return nil, nil, err
-			}
-			if n%2 == 0 {
-				r1 = append(r1, rd)
-			} else {
-				r2 = append(r2, rd)
-			}
-			n++
-		}
-		if err := sc.Err(); err != nil {
-			return nil, nil, err
-		}
-		if n%2 != 0 {
-			return nil, nil, fmt.Errorf("interleaved FASTQ holds %d records (odd)", n)
-		}
-	}
-	if len(r1) != len(r2) {
-		return nil, nil, fmt.Errorf("unequal pair lists: %d vs %d reads", len(r1), len(r2))
-	}
-	for i := range r1 {
-		if basePairName(r1[i].Name) != basePairName(r2[i].Name) {
-			return nil, nil, fmt.Errorf("pair %d: read names %q and %q do not match", i, r1[i].Name, r2[i].Name)
-		}
-	}
-	return r1, r2, nil
+	return ParsePairedReads(r.Body, asJSON, s.cfg.MaxReadsPerRequest, s.cfg.MaxReadLen)
 }
 
 // rejectParse writes the response for a body that could not be accepted,
 // distinguishing size-policy rejections (413) from malformed input (400).
 func (s *Server) rejectParse(w http.ResponseWriter, r *http.Request, err error) {
-	var tooBig *http.MaxBytesError
-	if errors.As(err, &tooBig) {
+	status, code, message := ClassifyParseError(err)
+	if status == http.StatusRequestEntityTooLarge {
 		s.met.rejectedLarge.Add(1)
-		s.apiError(w, r, http.StatusRequestEntityTooLarge, codeTooLarge,
-			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-		return
+	} else {
+		s.met.badRequests.Add(1)
 	}
-	if errors.Is(err, errReadTooLong) || errors.Is(err, errTooManyReads) {
-		s.met.rejectedLarge.Add(1)
-		s.apiError(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, err.Error())
-		return
-	}
-	s.met.badRequests.Add(1)
-	s.apiError(w, r, http.StatusBadRequest, codeBadRequest, err.Error())
+	s.apiError(w, r, status, code, message)
 }
 
 // admit runs the admission checks for n reads, writing the rejection

@@ -96,22 +96,40 @@ func boolGauge(b bool) int {
 	return 0
 }
 
-// handleHealthz serves GET /v1/healthz (alias /healthz): liveness plus the
-// numbers an orchestrator's probe or a human wants at a glance. The method
-// check happens in the route wrapper (api.go).
+// handleHealthz serves GET /v1/healthz (alias /healthz): pure liveness —
+// always 200 while the process can answer at all, even mid-drain (the body
+// still reports "draining" for humans) — plus the numbers an orchestrator's
+// probe wants at a glance. Readiness (should this replica receive new
+// traffic?) is /v1/readyz. The method check happens in the route wrapper
+// (api.go).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	code := http.StatusOK
 	if s.draining() {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
 	ref := s.sched.Aligner().Ref
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
+	w.WriteHeader(http.StatusOK)
 	//bwalint:ignore streamerr probe body is best-effort once the status code is out
 	_, _ = fmt.Fprintf(w,
 		`{"status":%q,"uptime_seconds":%.3f,"reads_inflight":%d,"workers":%d,"mode":%q,"contigs":%d,"reference_bp":%d}`+"\n",
 		status, time.Since(s.met.start).Seconds(), s.adm.InFlight(),
 		s.sched.Threads(), s.cfg.Mode.String(), len(ref.Contigs), ref.Lpac())
+}
+
+// handleReadyz serves GET /v1/readyz, the readiness signal a load balancer
+// or the bwagate health gate keys on: 200 {"status":"ready"} while the
+// server accepts new work, 503 {"status":"draining"} from the moment
+// Shutdown begins — so a gateway stops routing to a draining replica while
+// its in-flight streams finish, and distinguishes "draining" (503 with a
+// body) from "dead" (connection refused).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	if s.draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//bwalint:ignore streamerr probe body is best-effort once the status code is out
+	_, _ = fmt.Fprintf(w, `{"status":%q,"reads_inflight":%d}`+"\n", status, s.adm.InFlight())
 }

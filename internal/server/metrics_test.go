@@ -63,4 +63,15 @@ func TestHealthzEndpoint(t *testing.T) {
 	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("healthz content type %q", ct)
 	}
+
+	// readyz: 200 + "ready" while serving (503 once drain begins is
+	// asserted alongside Shutdown in server_test.go).
+	rw := httptest.NewRecorder()
+	s.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/v1/readyz", nil))
+	if rw.Code != http.StatusOK || !strings.Contains(rw.Body.String(), `"status":"ready"`) {
+		t.Fatalf("readyz: %d %s", rw.Code, rw.Body.String())
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("readyz content type %q", ct)
+	}
 }

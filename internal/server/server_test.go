@@ -402,10 +402,17 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if w := post(s, "/align", "", fastqBody(reads[:1])); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("post-shutdown request: status %d", w.Code)
 	}
+	// healthz is pure liveness: still 200 mid-drain, body says so.
 	hw := httptest.NewRecorder()
 	s.ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
-	if hw.Code != http.StatusServiceUnavailable || !strings.Contains(hw.Body.String(), "draining") {
+	if hw.Code != http.StatusOK || !strings.Contains(hw.Body.String(), "draining") {
 		t.Fatalf("healthz after shutdown: %d %s", hw.Code, hw.Body.String())
+	}
+	// readyz is the drain signal load balancers key on: 503 from now on.
+	rw := httptest.NewRecorder()
+	s.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/v1/readyz", nil))
+	if rw.Code != http.StatusServiceUnavailable || !strings.Contains(rw.Body.String(), "draining") {
+		t.Fatalf("readyz after shutdown: %d %s", rw.Code, rw.Body.String())
 	}
 	// Idempotent.
 	if err := s.Shutdown(ctx); err != nil {

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/seq"
+)
+
+// This file exports the wire-contract helpers the gateway tier
+// (internal/gateway) shares with the server: body-family negotiation,
+// streaming body decode with the exact validation messages, and the
+// rejection classification. The gateway must produce responses
+// byte-identical to a single bwaserve — including 400/413/415 envelope
+// messages — so both layers call the same functions rather than keeping
+// two copies of the contract in sync by hand.
+
+// AlignBodyKind resolves the negotiated body family of an align request:
+// JSON (application/json, *+json) or FASTQ (text/plain, the fastq media
+// types, application/octet-stream, or no Content-Type). A non-nil error
+// means 415: the Content-Type names neither family.
+func AlignBodyKind(r *http.Request) (isJSON bool, err error) {
+	return alignBodyKind(r)
+}
+
+// RequestBodyLimit bounds a request body by what the read caps could
+// legitimately need: maxReads reads of maxReadLen bases each, with
+// headroom for names, qualities, and JSON quoting.
+func RequestBodyLimit(maxReads, maxReadLen int) int64 {
+	return requestBodyLimit(maxReads, maxReadLen)
+}
+
+// WantHeader reports whether the response to r should start with the SAM
+// header (default yes; ?header=0 or ?header=false yields records only).
+func WantHeader(r *http.Request) bool {
+	return wantHeader(r)
+}
+
+// ParseSingleReads decodes and validates the read set of a single-end
+// align body, streaming so the read-count cap and per-read validation
+// apply as the body arrives. asJSON is the negotiated family
+// (AlignBodyKind). Errors carry the exact wire messages the server's own
+// handlers produce.
+func ParseSingleReads(body io.Reader, asJSON bool, maxReads, maxReadLen int) ([]seq.Read, error) {
+	if !asJSON {
+		return scanFastq(body, maxReads, maxReadLen)
+	}
+	var reads []seq.Read
+	err := seq.DecodeJSONReads(body, map[string]seq.JSONReadVisitor{
+		"reads": func(rd seq.Read) error {
+			if len(reads) >= maxReads {
+				return capErr(maxReads)
+			}
+			if err := validateRead(&rd, len(reads), maxReadLen); err != nil {
+				return err
+			}
+			reads = append(reads, rd)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reads, nil
+}
+
+// ParsePairedReads decodes and validates both read sets of a paired-end
+// align body (interleaved FASTQ or JSON reads1/reads2), enforcing the
+// total read cap, per-read validation, and pair-name agreement with the
+// exact wire messages the server's own handlers produce.
+func ParsePairedReads(body io.Reader, asJSON bool, maxReads, maxReadLen int) (r1, r2 []seq.Read, err error) {
+	if asJSON {
+		count := 0
+		visitor := func(label string, dst *[]seq.Read) seq.JSONReadVisitor {
+			return func(rd seq.Read) error {
+				if count >= maxReads {
+					return capErr(maxReads)
+				}
+				if err := validateRead(&rd, len(*dst), maxReadLen); err != nil {
+					return fmt.Errorf("%s: %w", label, err)
+				}
+				*dst = append(*dst, rd)
+				count++
+				return nil
+			}
+		}
+		err := seq.DecodeJSONReads(body, map[string]seq.JSONReadVisitor{
+			"reads1": visitor("reads1", &r1),
+			"reads2": visitor("reads2", &r2),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		sc := seq.NewFastqScanner(body)
+		n := 0
+		for sc.Scan() {
+			if n >= maxReads {
+				return nil, nil, capErr(maxReads)
+			}
+			rd := sc.Record()
+			if err := validateRead(&rd, n/2, maxReadLen); err != nil {
+				return nil, nil, err
+			}
+			if n%2 == 0 {
+				r1 = append(r1, rd)
+			} else {
+				r2 = append(r2, rd)
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+		if n%2 != 0 {
+			return nil, nil, fmt.Errorf("interleaved FASTQ holds %d records (odd)", n)
+		}
+	}
+	if len(r1) != len(r2) {
+		return nil, nil, fmt.Errorf("unequal pair lists: %d vs %d reads", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if basePairName(r1[i].Name) != basePairName(r2[i].Name) {
+			return nil, nil, fmt.Errorf("pair %d: read names %q and %q do not match", i, r1[i].Name, r2[i].Name)
+		}
+	}
+	return r1, r2, nil
+}
+
+// ClassifyParseError maps a ParseSingleReads/ParsePairedReads (or
+// MaxBytesReader) error to the wire response it must produce: status,
+// machine-readable code, and envelope message — identical to the server's
+// own rejection of the same body.
+func ClassifyParseError(err error) (status int, code, message string) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge, codeTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)
+	}
+	if errors.Is(err, errReadTooLong) || errors.Is(err, errTooManyReads) {
+		return http.StatusRequestEntityTooLarge, codeTooLarge, err.Error()
+	}
+	return http.StatusBadRequest, codeBadRequest, err.Error()
+}
+
+// ValidRequestID reports whether a client-supplied X-Request-Id is safe to
+// echo into headers, JSON, and logs (short, printable, quote-free).
+func ValidRequestID(id string) bool { return validRequestID(id) }
+
+// NewRequestID returns a fresh 16-hex-char random request ID.
+func NewRequestID() string { return newRequestID() }
+
+// WriteErrorEnvelope writes the typed JSON error envelope of the /v1 wire
+// contract with the given request ID. Callers must not have written any
+// response byte yet.
+func WriteErrorEnvelope(w http.ResponseWriter, status int, code, message, requestID string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeEnvelopeBody(w, code, message, requestID)
+}

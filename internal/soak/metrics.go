@@ -101,24 +101,34 @@ func scrapeGauge(text, name string) (float64, bool) {
 	return v, true
 }
 
+// metricPrefixes are the exposition prefixes a soak target can answer
+// with: bwaserve_* from a replica, bwagate_* when the target is the
+// gateway tier. Both expose the same histogram and runtime-gauge shapes.
+var metricPrefixes = []string{"bwaserve", "bwagate"}
+
 // serverRuntimeSample reads the target's runtime gauges from exposition
 // text; ok is false when the target does not expose them (e.g. a stub).
 func serverRuntimeSample(text string) (RuntimeSample, bool) {
-	g, okG := scrapeGauge(text, "bwaserve_go_goroutines")
-	h, okH := scrapeGauge(text, "bwaserve_go_heap_alloc_bytes")
-	if !okG || !okH {
-		return RuntimeSample{}, false
+	for _, prefix := range metricPrefixes {
+		g, okG := scrapeGauge(text, prefix+"_go_goroutines")
+		h, okH := scrapeGauge(text, prefix+"_go_heap_alloc_bytes")
+		if okG && okH {
+			return RuntimeSample{Goroutines: int(g), HeapAllocBytes: h}, true
+		}
 	}
-	return RuntimeSample{Goroutines: int(g), HeapAllocBytes: h}, true
+	return RuntimeSample{}, false
 }
 
-// requestLatency parses the bwaserve_request_seconds histograms for the
+// requestLatency parses the target's request_seconds histograms for the
 // align request kinds out of exposition text.
 func requestLatency(text string) map[string]Quantiles {
 	out := make(map[string]Quantiles)
 	for _, kind := range []string{"single", "paired"} {
-		if d := parseBuckets(text, "bwaserve_request_seconds", fmt.Sprintf("kind=%q", kind)); d != nil {
-			out[kind] = d.quantiles()
+		for _, prefix := range metricPrefixes {
+			if d := parseBuckets(text, prefix+"_request_seconds", fmt.Sprintf("kind=%q", kind)); d != nil {
+				out[kind] = d.quantiles()
+				break
+			}
 		}
 	}
 	return out

@@ -19,6 +19,8 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +44,7 @@ type Options struct {
 	MaxRequestReads int           // -max-request-reads: server per-request cap
 	MaxReadLen      int           // -max-read-len: server per-read length cap
 	Target          string        // -target: external /v1 base URL (empty = own server)
+	Topology        string        // -topology: "single" (default) or "gateway:N"
 	Chaos           string        // -chaos: "" or "kill-restart" (subprocess target)
 	ChaosInterval   time.Duration // -chaos-interval: time between kills
 	ServerBin       string        // -server-bin: bwaserve binary for chaos (empty = go build)
@@ -88,6 +91,7 @@ func Flags(fs *flag.FlagSet) *Options {
 	fs.IntVar(&o.MaxRequestReads, "max-request-reads", o.MaxRequestReads, "server per-request read cap (the oversize op sends one more)")
 	fs.IntVar(&o.MaxReadLen, "max-read-len", o.MaxReadLen, "server per-read length cap (the malformed op sends one longer)")
 	fs.StringVar(&o.Target, "target", o.Target, "external server base URL instead of an in-process server")
+	fs.StringVar(&o.Topology, "topology", o.Topology, "target topology: single (default) or gateway:N — N replicas behind an in-process bwagate")
 	fs.StringVar(&o.Chaos, "chaos", o.Chaos, "chaos mode: kill-restart (spawns bwaserve as a subprocess)")
 	fs.DurationVar(&o.ChaosInterval, "chaos-interval", o.ChaosInterval, "time between chaos kills")
 	fs.StringVar(&o.ServerBin, "server-bin", o.ServerBin, "bwaserve binary for chaos mode (empty: go build ./cmd/bwaserve)")
@@ -95,6 +99,23 @@ func Flags(fs *flag.FlagSet) *Options {
 	fs.DurationVar(&o.SLOp99, "slo-p99", o.SLOp99, "p99 request-latency SLO checked against the server's histogram buckets (0 disables)")
 	fs.StringVar(&o.Report, "report", o.Report, "also write the JSON report to this file")
 	return &o
+}
+
+// gatewayReplicas parses -topology: 0 for the default single-server
+// topology, N for "gateway:N".
+func (o *Options) gatewayReplicas() (int, error) {
+	switch {
+	case o.Topology == "" || o.Topology == "single":
+		return 0, nil
+	case strings.HasPrefix(o.Topology, "gateway:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(o.Topology, "gateway:"))
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("soak: -topology gateway:N needs a positive replica count, got %q", o.Topology)
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("soak: unknown -topology %q (want single or gateway:N)", o.Topology)
+	}
 }
 
 func (o *Options) validate() error {
@@ -109,6 +130,16 @@ func (o *Options) validate() error {
 	}
 	if o.Chaos != "" && o.Target != "" {
 		return fmt.Errorf("soak: -chaos spawns its own server; it cannot be combined with -target")
+	}
+	gwN, err := o.gatewayReplicas()
+	if err != nil {
+		return err
+	}
+	if gwN > 0 && o.Target != "" {
+		return fmt.Errorf("soak: -topology gateway stands up its own replicas; it cannot be combined with -target")
+	}
+	if gwN == 1 && o.Chaos != "" {
+		return fmt.Errorf("soak: gateway chaos needs at least 2 replicas to ride through a kill (-topology gateway:2)")
 	}
 	if o.MaxRequestReads > o.MaxInflight {
 		return fmt.Errorf("soak: -max-request-reads %d exceeds -max-inflight %d (every request would shed)",
@@ -176,9 +207,10 @@ type runner struct {
 	tr     *http.Transport
 	logf   func(string, ...any)
 
-	phaseMu sync.Mutex
-	phases  []*phaseAcc
-	cur     atomic.Pointer[phaseAcc]
+	phasePrefix string // "gateway-" under the gateway topology
+	phaseMu     sync.Mutex
+	phases      []*phaseAcc
+	cur         atomic.Pointer[phaseAcc]
 
 	ops map[string]*opAcc
 
@@ -210,7 +242,7 @@ func (r *runner) beginPhase(name string) {
 	if cur := r.cur.Load(); cur != nil {
 		cur.duration = now.Sub(cur.start)
 	}
-	p := &phaseAcc{name: name, start: now, rejections: make(map[string]int64), lat: &obs.Histogram{}}
+	p := &phaseAcc{name: r.phasePrefix + name, start: now, rejections: make(map[string]int64), lat: &obs.Histogram{}}
 	r.phases = append(r.phases, p)
 	r.cur.Store(p)
 }
@@ -246,14 +278,23 @@ func Run(ctx context.Context, o Options, logf func(string, ...any)) (*Report, er
 	}
 
 	// Stand up the target.
+	gwN, _ := o.gatewayReplicas()
 	var (
 		baseURL string
 		local   *localServer
 		child   *childServer
+		gate    *gatewayTarget
 	)
 	switch {
 	case o.Target != "":
 		baseURL = o.Target
+	case gwN > 0:
+		gate, err = startGatewayTarget(ctx, &o, gwN, w.idx, logf)
+		if err != nil {
+			return nil, err
+		}
+		defer gate.stop()
+		baseURL = gate.baseURL
 	case o.Chaos != "":
 		child, err = startChildServer(ctx, &o, logf)
 		if err != nil {
@@ -282,6 +323,9 @@ func Run(ctx context.Context, o Options, logf func(string, ...any)) (*Report, er
 		o: &o, w: w, client: client, tr: tr, logf: logf,
 		ops:      make(map[string]*opAcc),
 		vioCount: make(map[string]int),
+	}
+	if gate != nil {
+		r.phasePrefix = "gateway-"
 	}
 	for _, op := range []string{opSingle, opPaired, opSlow, opCancel, opOversize, opMalformed, opHealth, opMetrics} {
 		r.ops[op] = &opAcc{rejections: make(map[string]int64)}
@@ -326,6 +370,13 @@ func Run(ctx context.Context, o Options, logf func(string, ...any)) (*Report, er
 			r.chaos(loadCtx, child, deadline)
 		}()
 	}
+	if gate != nil && o.Chaos != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.chaosGateway(loadCtx, gate, deadline)
+		}()
+	}
 	wg.Wait()
 	r.closePhases()
 	logf("soak: load complete (%d phases)", len(r.phases))
@@ -335,13 +386,19 @@ func Run(ctx context.Context, o Options, logf func(string, ...any)) (*Report, er
 			DurationSeconds: o.Duration.Seconds(), Seed: o.Seed, Workers: o.Workers,
 			GenomeBP: o.GenomeBP, GenomeSeed: o.GenomeSeed, ReadLen: o.ReadLen,
 			Threads: o.Threads, BatchSize: o.BatchSize, MaxInflight: o.MaxInflight,
-			MaxRequestReads: o.MaxRequestReads, Target: o.Target, Chaos: o.Chaos,
-			Retries: o.Retries, SLOp99Seconds: o.SLOp99.Seconds(),
+			MaxRequestReads: o.MaxRequestReads, Target: o.Target, Topology: o.Topology,
+			Chaos: o.Chaos, Retries: o.Retries, SLOp99Seconds: o.SLOp99.Seconds(),
 		},
 	}
 
 	// Post-load invariants: server-side latency SLO and runtime growth,
-	// read from /v1/metrics exactly as a dashboard would.
+	// read from /v1/metrics exactly as a dashboard would. The gateway tier
+	// first drops its idle upstream pool — those transport goroutines are
+	// bounded by configuration, not leaked, and would otherwise dominate
+	// the resting-footprint sample.
+	if gate != nil {
+		gate.gw.CloseIdleConnections()
+	}
 	r.finishServerChecks(ctx, rep)
 
 	// Clean drain.
@@ -353,6 +410,10 @@ func Run(ctx context.Context, o Options, logf func(string, ...any)) (*Report, er
 	case child != nil:
 		if err := child.drain(); err != nil {
 			r.violate("drain", "bwaserve subprocess: %v", err)
+		}
+	case gate != nil:
+		if err := gate.drain(); err != nil {
+			r.violate("drain", "gateway tier: %v", err)
 		}
 	}
 
@@ -451,7 +512,24 @@ func (r *runner) finishServerChecks(ctx context.Context, rep *Report) {
 			}
 		}
 	}
-	if s, ok := serverRuntimeSample(text); ok {
+	s, okSample := serverRuntimeSample(text)
+	if okSample && r.srvBase != nil {
+		// Connection and transport goroutines wind down asynchronously
+		// once load stops; re-sample briefly before calling growth a leak.
+		for i := 0; i < 10 && s.Goroutines > r.srvBase.Goroutines+2*goroutineSlack; i++ {
+			time.Sleep(200 * time.Millisecond)
+			mctx, cancel := context.WithTimeout(ctx, opTimeout)
+			again, merr := r.client.Metrics(mctx)
+			cancel()
+			if merr != nil {
+				break
+			}
+			if s2, ok2 := serverRuntimeSample(again); ok2 {
+				s = s2
+			}
+		}
+	}
+	if okSample {
 		r.srvFinal = &s
 		if r.srvBase != nil {
 			if s.Goroutines > r.srvBase.Goroutines+2*goroutineSlack {

@@ -81,6 +81,42 @@ func TestShortRunClean(t *testing.T) {
 	}
 }
 
+// TestGatewayShortRunClean runs the same short soak through the gateway
+// topology: two in-process replicas behind an in-process bwagate. The
+// workload, oracle, and invariants are unchanged — byte-identity through
+// the gateway's scatter/merge is exactly what's under test — and the
+// server-side latency must now parse from bwagate_* metrics.
+func TestGatewayShortRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	o := shortOptions()
+	o.Topology = "gateway:2"
+	rep, err := Run(context.Background(), o, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean gateway run reported violations: %v", rep.Violations)
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+	steady := rep.Phases[0]
+	if steady.Name != "gateway-steady" || steady.Requests == 0 {
+		t.Fatalf("first phase = %+v, want traffic in a phase named gateway-steady", steady)
+	}
+	if rep.Config.Topology != "gateway:2" {
+		t.Fatalf("report config topology = %q, want gateway:2", rep.Config.Topology)
+	}
+	if lat, ok := rep.ServerLatency["single"]; !ok || lat.Count == 0 {
+		t.Error("no single-request latency parsed from the gateway's /v1/metrics")
+	}
+	if got := rep.Ops[opOversize].Rejections[bwaclient.CodeTooLarge]; got == 0 {
+		t.Error("oversize op recorded no too_large rejections through the gateway")
+	}
+}
+
 // TestDetectsCorruptTarget points the harness at a stub that answers
 // every align request with the same canned SAM: byte-identity must fail
 // for the success ops and the must-reject ops must be flagged as
@@ -235,6 +271,10 @@ func TestOptionsValidate(t *testing.T) {
 		{"unknown chaos", func(o *Options) { o.Chaos = "netsplit" }},
 		{"chaos with target", func(o *Options) { o.Chaos = "kill-restart"; o.Target = "http://x" }},
 		{"request cap over budget", func(o *Options) { o.MaxRequestReads = o.MaxInflight + 1 }},
+		{"unknown topology", func(o *Options) { o.Topology = "mesh" }},
+		{"zero-replica gateway", func(o *Options) { o.Topology = "gateway:0" }},
+		{"gateway with target", func(o *Options) { o.Topology = "gateway:2"; o.Target = "http://x" }},
+		{"gateway chaos with one replica", func(o *Options) { o.Topology = "gateway:1"; o.Chaos = "kill-restart" }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/gateway"
 	"repro/pkg/bwamem"
 )
 
@@ -100,25 +101,43 @@ type childServer struct {
 	stderr *bytes.Buffer
 }
 
-// startChildServer resolves the bwaserve binary (building it from
-// ./cmd/bwaserve when -server-bin is empty, so run from the module root),
-// reserves a port, spawns the process, and waits for /v1/healthz.
-func startChildServer(ctx context.Context, o *Options, logf func(string, ...any)) (*childServer, error) {
-	c := &childServer{o: o, logf: logf, bin: o.ServerBin}
-	if c.bin == "" {
-		dir, err := os.MkdirTemp("", "bwasoak-*")
-		if err != nil {
-			return nil, err
-		}
-		c.binDir = dir
-		c.bin = filepath.Join(dir, "bwaserve")
-		logf("soak: building bwaserve for chaos mode")
-		cmd := exec.CommandContext(ctx, "go", "build", "-o", c.bin, "./cmd/bwaserve")
-		if out, err := cmd.CombinedOutput(); err != nil {
-			os.RemoveAll(dir)
-			return nil, fmt.Errorf("soak: building bwaserve (run from the module root or pass -server-bin): %v\n%s", err, out)
-		}
+// resolveServerBin returns the bwaserve binary a chaos target spawns:
+// o.ServerBin when set, otherwise a fresh build of ./cmd/bwaserve into a
+// temp dir (run from the module root). binDir is non-empty only when the
+// build happened here; the caller owns its removal.
+func resolveServerBin(ctx context.Context, o *Options, logf func(string, ...any)) (bin, binDir string, err error) {
+	if o.ServerBin != "" {
+		return o.ServerBin, "", nil
 	}
+	dir, err := os.MkdirTemp("", "bwasoak-*")
+	if err != nil {
+		return "", "", err
+	}
+	bin = filepath.Join(dir, "bwaserve")
+	logf("soak: building bwaserve for chaos mode")
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/bwaserve")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", "", fmt.Errorf("soak: building bwaserve (run from the module root or pass -server-bin): %v\n%s", err, out)
+	}
+	return bin, dir, nil
+}
+
+// startChildServer resolves the bwaserve binary, reserves a port, spawns
+// the process, and waits for /v1/healthz.
+func startChildServer(ctx context.Context, o *Options, logf func(string, ...any)) (*childServer, error) {
+	bin, binDir, err := resolveServerBin(ctx, o, logf)
+	if err != nil {
+		return nil, err
+	}
+	return launchChild(ctx, o, bin, binDir, logf)
+}
+
+// launchChild spawns one bwaserve process from bin on a fresh port and
+// waits for it to become healthy. The child owns binDir (removed on stop);
+// pass "" when the binary is shared.
+func launchChild(ctx context.Context, o *Options, bin, binDir string, logf func(string, ...any)) (*childServer, error) {
+	c := &childServer{o: o, logf: logf, bin: bin, binDir: binDir}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		c.cleanup()
@@ -271,6 +290,163 @@ func (c *childServer) cleanup() {
 	if c.binDir != "" {
 		os.RemoveAll(c.binDir)
 		c.binDir = ""
+	}
+}
+
+// gatewayTarget is the fleet topology: N replicas behind an in-process
+// bwagate. Without chaos the replicas are in-process bwamem servers (no
+// subprocess, CI-friendly); with kill-restart chaos they are real
+// bwaserve processes sharing one built binary, so a SIGKILL hits a
+// replica while the gateway — not the client — rides through it.
+type gatewayTarget struct {
+	baseURL  string
+	gw       *gateway.Gateway
+	hs       *http.Server
+	ln       net.Listener
+	locals   []*localServer
+	children []*childServer
+	binDir   string // shared bwaserve binary dir (chaos mode, built here)
+
+	stopOnce sync.Once
+}
+
+func startGatewayTarget(ctx context.Context, o *Options, n int, idx *bwamem.Index, logf func(string, ...any)) (*gatewayTarget, error) {
+	gt := &gatewayTarget{}
+	urls := make([]string, 0, n)
+	if o.Chaos != "" {
+		bin, binDir, err := resolveServerBin(ctx, o, logf)
+		if err != nil {
+			return nil, err
+		}
+		gt.binDir = binDir
+		for i := 0; i < n; i++ {
+			c, err := launchChild(ctx, o, bin, "", logf)
+			if err != nil {
+				gt.stop()
+				return nil, err
+			}
+			gt.children = append(gt.children, c)
+			urls = append(urls, c.baseURL)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ls, err := startLocalServer(o, idx, logf)
+			if err != nil {
+				gt.stop()
+				return nil, err
+			}
+			gt.locals = append(gt.locals, ls)
+			urls = append(urls, ls.baseURL)
+		}
+	}
+	gw, err := gateway.New(gateway.Config{
+		Replicas:           urls,
+		ProbeInterval:      200 * time.Millisecond, // re-add restarted replicas well within a chaos window
+		FailAfter:          2,
+		MaxReadsPerRequest: o.MaxRequestReads,
+		MaxReadLen:         o.MaxReadLen,
+	})
+	if err != nil {
+		gt.stop()
+		return nil, err
+	}
+	gt.gw = gw
+	gw.SetLogf(logf)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gt.stop()
+		return nil, err
+	}
+	gt.ln = ln
+	gt.baseURL = "http://" + ln.Addr().String()
+	gt.hs = &http.Server{Handler: gw}
+	go gt.hs.Serve(ln)
+	logf("soak: gateway on %s over %d replicas (chaos=%q)", gt.baseURL, n, o.Chaos)
+	return gt, nil
+}
+
+// drain shuts the tier down front to back: the gateway drains first (its
+// in-flight fan-outs finish against live replicas), then each replica.
+func (gt *gatewayTarget) drain() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var firstErr error
+	if err := gt.gw.Shutdown(ctx); err != nil {
+		firstErr = fmt.Errorf("gateway drain: %w", err)
+	}
+	if err := gt.hs.Shutdown(ctx); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("gateway http shutdown: %w", err)
+	}
+	for _, ls := range gt.locals {
+		if err := ls.drain(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("replica: %w", err)
+		}
+	}
+	for i, c := range gt.children {
+		if err := c.drain(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("replica %d: %w", i, err)
+		}
+	}
+	if firstErr == nil {
+		gt.stopOnce.Do(func() {}) // drained: stop() has nothing left to do
+	}
+	return firstErr
+}
+
+func (gt *gatewayTarget) stop() {
+	gt.stopOnce.Do(func() {
+		if gt.hs != nil {
+			gt.hs.Close()
+		}
+		if gt.gw != nil {
+			gt.gw.Close()
+		}
+		for _, ls := range gt.locals {
+			ls.stop()
+		}
+		for _, c := range gt.children {
+			c.stop()
+		}
+	})
+	if gt.binDir != "" {
+		os.RemoveAll(gt.binDir)
+		gt.binDir = ""
+	}
+}
+
+// chaosGateway is the fleet kill-restart controller: every ChaosInterval
+// it SIGKILLs one replica (round-robin), restarts it, and waits for
+// health. Unlike single-server chaos, clients keep talking to the gateway
+// throughout — the invariant under test is that the gateway's passive
+// failure detection plus partition retry absorb the kill with zero
+// client-visible failures.
+func (r *runner) chaosGateway(ctx context.Context, gt *gatewayTarget, deadline time.Time) {
+	for i := 1; ; i++ {
+		t := time.NewTimer(r.o.ChaosInterval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if time.Until(deadline) < r.o.ChaosInterval/2+2*time.Second {
+			return
+		}
+		victim := gt.children[(i-1)%len(gt.children)]
+		r.logf("soak: gateway chaos %d: SIGKILL replica %s (pid %d)", i, victim.baseURL, victim.pid())
+		r.beginPhase(fmt.Sprintf("chaos-%d", i))
+		if err := victim.kill(); err != nil {
+			r.violate("chaos-restart", "kill replica: %v", err)
+			return
+		}
+		if err := victim.restart(ctx); err != nil {
+			if ctx.Err() == nil {
+				r.violate("chaos-restart", "restart replica: %v", err)
+			}
+			return
+		}
+		r.logf("soak: gateway chaos %d: replica back as pid %d", i, victim.pid())
+		r.beginPhase(fmt.Sprintf("steady-%d", i))
 	}
 }
 

@@ -107,22 +107,46 @@ func toJSONReads(reads []Read) []jsonRead {
 	return out
 }
 
+// AlignOptions adjusts a single align call, overriding the Client's
+// construction-time defaults. The zero value means "records only, no
+// upstream request ID" — callers wanting the Client defaults use Align /
+// AlignPaired instead. Built for streaming intermediaries (the bwagate
+// tier) that decide per partition whether the upstream response should
+// carry the SAM header and which request ID to propagate.
+type AlignOptions struct {
+	// IncludeHeader requests the SAM @SQ/@PG header before the records.
+	IncludeHeader bool
+	// RequestID, when non-empty, is sent as X-Request-Id so the upstream
+	// server's logs and traces correlate with the caller's request.
+	RequestID string
+}
+
 // Align maps single-end reads, returning the SAM response as a stream —
 // records arrive while the server is still aligning later reads. The
 // caller must drain or Close the stream.
 func (c *Client) Align(ctx context.Context, reads []Read) (*SAMStream, error) {
+	return c.AlignWith(ctx, reads, AlignOptions{IncludeHeader: c.wantHeader})
+}
+
+// AlignWith is Align with per-call options.
+func (c *Client) AlignWith(ctx context.Context, reads []Read, opts AlignOptions) (*SAMStream, error) {
 	body, err := json.Marshal(struct {
 		Reads []jsonRead `json:"reads"`
 	}{toJSONReads(reads)})
 	if err != nil {
 		return nil, err
 	}
-	return c.postAlign(ctx, "/v1/align", body)
+	return c.postAlign(ctx, "/v1/align", body, opts)
 }
 
 // AlignPaired maps read pairs (reads1[i] pairs with reads2[i]), returning
 // the streamed SAM response. The caller must drain or Close the stream.
 func (c *Client) AlignPaired(ctx context.Context, reads1, reads2 []Read) (*SAMStream, error) {
+	return c.AlignPairedWith(ctx, reads1, reads2, AlignOptions{IncludeHeader: c.wantHeader})
+}
+
+// AlignPairedWith is AlignPaired with per-call options.
+func (c *Client) AlignPairedWith(ctx context.Context, reads1, reads2 []Read, opts AlignOptions) (*SAMStream, error) {
 	if len(reads1) != len(reads2) {
 		return nil, fmt.Errorf("bwaclient: unequal pair lists: %d vs %d reads", len(reads1), len(reads2))
 	}
@@ -133,7 +157,7 @@ func (c *Client) AlignPaired(ctx context.Context, reads1, reads2 []Read) (*SAMSt
 	if err != nil {
 		return nil, err
 	}
-	return c.postAlign(ctx, "/v1/align/paired", body)
+	return c.postAlign(ctx, "/v1/align/paired", body, opts)
 }
 
 // AlignSAM is Align buffered: the whole SAM response as one byte slice,
@@ -156,9 +180,9 @@ func (c *Client) AlignPairedSAM(ctx context.Context, reads1, reads2 []Read) ([]b
 }
 
 // postAlign runs one align POST with the 429 retry loop.
-func (c *Client) postAlign(ctx context.Context, path string, body []byte) (*SAMStream, error) {
+func (c *Client) postAlign(ctx context.Context, path string, body []byte, opts AlignOptions) (*SAMStream, error) {
 	url := c.base + path
-	if !c.wantHeader {
+	if !opts.IncludeHeader {
 		url += "?header=0"
 	}
 	for attempt := 0; ; attempt++ {
@@ -167,6 +191,9 @@ func (c *Client) postAlign(ctx context.Context, path string, body []byte) (*SAMS
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if opts.RequestID != "" {
+			req.Header.Set("X-Request-Id", opts.RequestID)
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return nil, err
@@ -268,6 +295,43 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 		return nil, fmt.Errorf("bwaclient: decoding healthz: %w", err)
 	}
 	return &h, nil
+}
+
+// Ready is the server's /v1/readyz report.
+type Ready struct {
+	// Status is "ready", or "draining" once graceful shutdown has begun.
+	Status        string `json:"status"`
+	ReadsInflight int    `json:"reads_inflight"`
+}
+
+// Ready fetches the server's readiness signal: whether this replica
+// should receive new traffic. A draining server reports Status "draining"
+// (not an error) — the report is the answer either way; only transport
+// failures and non-readyz responses return an error.
+func (c *Client) Ready(ctx context.Context) (*Ready, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// readyz answers 200 (ready) or 503 with a JSON body (draining); any
+	// other status — or a non-JSON 503, e.g. an intermediary's outage page —
+	// is an error, surfaced as *APIError.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, decodeAPIError(resp)
+	}
+	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err != nil || mt != "application/json" {
+		return nil, decodeAPIError(resp)
+	}
+	var rd Ready
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rd); err != nil {
+		return nil, fmt.Errorf("bwaclient: decoding readyz: %w", err)
+	}
+	return &rd, nil
 }
 
 // Metrics fetches the server's Prometheus text exposition.
